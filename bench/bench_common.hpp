@@ -1,0 +1,54 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every bench prints the corresponding paper table/figure in plain text.
+// Grid sizes are scaled down from the paper's 12-core Nehalem testbed to
+// run in about a minute; set POCHOIR_BENCH_SCALE=<f> to scale the
+// space-time volume up (f > 1) or down.  EXPERIMENTS.md records the
+// paper-vs-measured comparison for each experiment.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "runtime/scheduler.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace pochoir::bench {
+
+/// Space-time scale factor from POCHOIR_BENCH_SCALE (default 1.0).
+inline double scale() {
+  if (const char* env = std::getenv("POCHOIR_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+/// Scales a linear dimension by the cube/sqrt/... root of the volume scale.
+inline std::int64_t scaled(std::int64_t base, double exponent) {
+  const double v = static_cast<double>(base) *
+                   std::pow(scale(), exponent);
+  return v < 1 ? 1 : static_cast<std::int64_t>(v);
+}
+
+/// Times one run of `fn` in seconds.
+template <typename F>
+double timed(F&& fn) {
+  Timer timer;
+  fn();
+  return timer.seconds();
+}
+
+inline void print_header(const char* what, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("workers: %d   scale: %.2f\n",
+              rt::Scheduler::instance().num_threads(), scale());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace pochoir::bench

@@ -1,0 +1,92 @@
+// Figure 10 — cache-miss ratios of TRAP, STRAP and the parallel-loop
+// algorithm, measured in the ideal-cache model (fully associative LRU; the
+// paper used hardware perf counters):
+//   (a) 2D nonperiodic heat,  (b) 3D nonperiodic wave.
+//
+// Reproduction targets: LOOPS' miss ratio rises with N and plateaus once
+// the grid outgrows the cache; TRAP and STRAP sit far lower and nearly
+// coincide — §3 proves they apply identical time cuts, hence have the same
+// cache complexity (the claim Figure 10 verifies empirically).
+#include <cstdio>
+
+#include "analysis/cache_sim.hpp"
+#include "bench_common.hpp"
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "stencils/common.hpp"
+#include "stencils/heat.hpp"
+#include "stencils/wave.hpp"
+
+namespace {
+
+constexpr std::int64_t kSimCacheBytes = 256 * 1024;  // L2-sized, 64B lines
+
+}  // namespace
+
+int main() {
+  using namespace pochoir;
+  using namespace pochoir::bench;
+  using namespace pochoir::stencils;
+
+  print_header("Figure 10: cache-miss ratio, TRAP vs STRAP vs LOOPS",
+               "Tang et al., SPAA'11, Figure 10 (perf there; ideal-cache "
+               "LRU simulation here, M=256KB, B=64B)");
+
+  // (a) 2D heat.
+  {
+    std::printf("\n(a) 2D heat equation, uncoarsened, T = 64\n");
+    Table table({"N", "TRAP", "STRAP", "LOOPS", "LOOPS/TRAP"});
+    for (std::int64_t n : {128, 256, 512, 768}) {
+      double ratio[3] = {0, 0, 0};
+      const Algorithm algs[3] = {Algorithm::kTrap, Algorithm::kStrap,
+                                 Algorithm::kLoopsSerial};
+      for (int a = 0; a < 3; ++a) {
+        Array<double, 2> u({n, n}, 1);
+        u.register_boundary(dirichlet_boundary<double, 2>(0.0));
+        fill_random(u, 0, 0.0, 1.0);
+        Stencil<2, double> st(heat_shape<2>(), Options<2>::uncoarsened());
+        st.register_arrays(u);
+        CacheSim sim(kSimCacheBytes);
+        st.run_traced(algs[a], 64, heat_kernel_2d({0.125, 0.125}), sim);
+        ratio[a] = sim.miss_ratio();
+      }
+      table.add_row({std::to_string(n), strf("%.4f", ratio[0]),
+                     strf("%.4f", ratio[1]), strf("%.4f", ratio[2]),
+                     strf("%.1fx", ratio[2] / ratio[0])});
+    }
+    table.print();
+  }
+
+  // (b) 3D wave.
+  {
+    std::printf("\n(b) 3D wave equation, uncoarsened, T = 24\n");
+    Table table({"N", "TRAP", "STRAP", "LOOPS", "LOOPS/TRAP"});
+    for (std::int64_t n : {24, 40, 64}) {
+      double ratio[3] = {0, 0, 0};
+      const Algorithm algs[3] = {Algorithm::kTrap, Algorithm::kStrap,
+                                 Algorithm::kLoopsSerial};
+      for (int a = 0; a < 3; ++a) {
+        Array<double, 3> u({n, n, n}, 2);
+        u.register_boundary(dirichlet_boundary<double, 3>(0.0));
+        fill_random(u, 0, -0.1, 0.1);
+        u.fill_time(1, [&](const std::array<std::int64_t, 3>& i) {
+          return u.at(0, i);
+        });
+        Stencil<3, double> st(wave_shape(), Options<3>::uncoarsened());
+        st.register_arrays(u);
+        CacheSim sim(kSimCacheBytes);
+        st.run_traced(algs[a], 24, wave_kernel(0.1), sim);
+        ratio[a] = sim.miss_ratio();
+      }
+      table.add_row({std::to_string(n), strf("%.4f", ratio[0]),
+                     strf("%.4f", ratio[1]), strf("%.4f", ratio[2]),
+                     strf("%.1fx", ratio[2] / ratio[0])});
+    }
+    table.print();
+  }
+
+  std::printf("\npaper shape: loops climb toward 0.86 (2D) / 0.99 (3D) while "
+              "both cache-oblivious algorithms stay low and equal; absolute "
+              "values differ (hardware counters vs ideal-cache model).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark): per-access costs of the three kernel
+// access paths (interior clone, boundary clone, Phase-1 proxy), the
+// work-stealing deque, and the cache simulator.  These quantify the
+// constant factors behind the paper's §4 optimizations.
+#include <benchmark/benchmark.h>
+
+#include "analysis/cache_sim.hpp"
+#include "core/array.hpp"
+#include "core/boundary.hpp"
+#include "core/views.hpp"
+#include "geometry/cuts.hpp"
+#include "runtime/task_deque.hpp"
+
+namespace {
+
+using pochoir::Array;
+using pochoir::BoundaryView;
+using pochoir::InteriorView;
+
+Array<double, 2>& grid() {
+  static Array<double, 2> u = [] {
+    Array<double, 2> a({256, 256}, 1);
+    a.register_boundary(pochoir::periodic_boundary<double, 2>());
+    a.fill_time(0, [](const std::array<std::int64_t, 2>& i) {
+      return 0.001 * static_cast<double>(i[0] + i[1]);
+    });
+    return a;
+  }();
+  return u;
+}
+
+void BM_InteriorViewAccess(benchmark::State& state) {
+  auto& u = grid();
+  InteriorView<double, 2> v(u);
+  std::int64_t x = 1;
+  double acc = 0;
+  for (auto _ : state) {
+    acc += v(0, x, x + 1);
+    x = (x + 7) % 250 + 1;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_InteriorViewAccess);
+
+void BM_BoundaryViewAccessInterior(benchmark::State& state) {
+  auto& u = grid();
+  BoundaryView<double, 2> v(u);
+  std::int64_t x = 1;
+  double acc = 0;
+  for (auto _ : state) {
+    acc += v(0, x, x + 1);
+    x = (x + 7) % 250 + 1;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_BoundaryViewAccessInterior);
+
+void BM_BoundaryViewAccessOffGrid(benchmark::State& state) {
+  auto& u = grid();
+  BoundaryView<double, 2> v(u);
+  std::int64_t x = 1;
+  double acc = 0;
+  for (auto _ : state) {
+    acc += v(0, -x, x);  // always off-domain: boundary function invoked
+    x = x % 250 + 1;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_BoundaryViewAccessOffGrid);
+
+void BM_Phase1ProxyAccess(benchmark::State& state) {
+  auto& u = grid();
+  std::int64_t x = 1;
+  double acc = 0;
+  for (auto _ : state) {
+    acc += u(0, x, x + 1);
+    x = (x + 7) % 250 + 1;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Phase1ProxyAccess);
+
+void BM_TaskDequePushPop(benchmark::State& state) {
+  pochoir::rt::TaskDeque dq;
+  auto* token = reinterpret_cast<pochoir::rt::Task*>(std::uintptr_t{0x10});
+  for (auto _ : state) {
+    dq.push(token);
+    benchmark::DoNotOptimize(dq.pop());
+  }
+}
+BENCHMARK(BM_TaskDequePushPop);
+
+void BM_CacheSimTouch(benchmark::State& state) {
+  pochoir::CacheSim sim(256 * 1024);
+  const auto& u = grid();
+  const double* base = u.data();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sim.touch(base + i, sizeof(double));
+    i = (i + 17) % 65536;
+  }
+  benchmark::DoNotOptimize(sim.misses());
+}
+BENCHMARK(BM_CacheSimTouch);
+
+void BM_PlanHyperspaceCut2D(benchmark::State& state) {
+  const auto z = pochoir::Zoid<2>::box(0, 8, {512, 512});
+  const std::array<std::int64_t, 2> sigma = {1, 1};
+  const std::array<std::int64_t, 2> thresh = {1, 1};
+  const std::array<std::int64_t, 2> grid_ext = {1024, 1024};
+  for (auto _ : state) {
+    auto plan = pochoir::plan_hyperspace_cut(z, sigma, thresh, grid_ext);
+    benchmark::DoNotOptimize(plan.k);
+  }
+}
+BENCHMARK(BM_PlanHyperspaceCut2D);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Conway's Game of Life on a torus (the paper's Life 2p benchmark): seed a
+// glider gun region plus random soup, evolve with TRAP, render a census.
+#include <pochoir/pochoir.hpp>
+
+#include <cstdio>
+
+#include "stencils/life.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace pochoir;
+  using stencils::LifeCell;
+  const std::int64_t N = 256;
+  const std::int64_t T = 512;
+
+  Array<LifeCell, 2> board({N, N}, 1);
+  board.register_boundary(periodic_boundary<LifeCell, 2>());
+
+  // Gosper glider gun in the top-left corner, random soup bottom-right.
+  static const int gun[][2] = {
+      {5, 1},  {5, 2},  {6, 1},  {6, 2},  {5, 11}, {6, 11}, {7, 11},
+      {4, 12}, {8, 12}, {3, 13}, {9, 13}, {3, 14}, {9, 14}, {6, 15},
+      {4, 16}, {8, 16}, {5, 17}, {6, 17}, {7, 17}, {6, 18}, {3, 21},
+      {4, 21}, {5, 21}, {3, 22}, {4, 22}, {5, 22}, {2, 23}, {6, 23},
+      {1, 25}, {2, 25}, {6, 25}, {7, 25}, {3, 35}, {4, 35}, {3, 36}, {4, 36}};
+  Rng rng(7);
+  board.fill_time(0, [&](const std::array<std::int64_t, 2>& i) -> LifeCell {
+    for (const auto& cell : gun) {
+      if (i[0] == cell[0] && i[1] == cell[1]) return 1;
+    }
+    if (i[0] > N / 2 && i[1] > N / 2) return rng.next_below(5) == 0 ? 1 : 0;
+    return 0;
+  });
+
+  Stencil<2, LifeCell> life(stencils::life_shape());
+  life.register_arrays(board);
+
+  std::int64_t initial = 0;
+  for (std::int64_t x = 0; x < N; ++x) {
+    for (std::int64_t y = 0; y < N; ++y) initial += board.at(0, {x, y});
+  }
+
+  life.run(T, stencils::life_kernel());
+
+  std::int64_t alive = 0;
+  const std::int64_t rt = life.result_time();
+  for (std::int64_t x = 0; x < N; ++x) {
+    for (std::int64_t y = 0; y < N; ++y) alive += board.at(rt, {x, y});
+  }
+  std::printf("generation %lld: %lld cells alive (started with %lld)\n",
+              static_cast<long long>(T), static_cast<long long>(alive),
+              static_cast<long long>(initial));
+
+  // Render the gun region.
+  std::printf("gun region after %lld generations:\n", static_cast<long long>(T));
+  for (std::int64_t x = 0; x < 12; ++x) {
+    for (std::int64_t y = 0; y < 40; ++y) {
+      std::putchar(board.at(rt, {x, y}) != 0 ? '#' : '.');
+    }
+    std::putchar('\n');
+  }
+  return 0;
+}

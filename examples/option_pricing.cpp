@@ -1,0 +1,48 @@
+// American put option pricing (the paper's APOP benchmark): backward
+// induction with early exercise as a 1D non-linear stencil.
+#include <pochoir/pochoir.hpp>
+
+#include <cmath>
+#include <cstdio>
+
+#include "stencils/apop.hpp"
+
+int main() {
+  using namespace pochoir;
+  stencils::ApopParams p;
+  p.strike = 100.0;
+  p.spot_center = 100.0;
+  p.rate = 0.05;
+  p.sigma = 0.2;
+  p.maturity = 1.0;
+  if (!p.stable()) {
+    std::printf("unstable parameters\n");
+    return 1;
+  }
+
+  Array<double, 1> v({p.grid}, 1);
+  stencils::apop_register_boundary(v, p);
+  v.fill_time(0, [&](const std::array<std::int64_t, 1>& i) {
+    return p.payoff(i[0]);  // value at expiry
+  });
+
+  Stencil<1, double> apop(stencils::apop_shape());
+  apop.register_arrays(v);
+  apop.run(p.steps, stencils::apop_kernel(p));
+
+  const std::int64_t rt = apop.result_time();
+  std::printf("American put, K=%.0f, r=%.2f, sigma=%.2f, T=%.1fy\n", p.strike,
+              p.rate, p.sigma, p.maturity);
+  std::printf("%8s %12s %12s %12s\n", "spot", "value", "intrinsic", "time-val");
+  for (double spot : {70.0, 85.0, 100.0, 115.0, 130.0}) {
+    // Locate the grid node closest to this spot price.
+    const double xi = std::log(spot / p.spot_center);
+    const std::int64_t x =
+        static_cast<std::int64_t>(std::lround(xi / p.dxi())) + p.grid / 2;
+    const double value = v.at(rt, {x});
+    const double intrinsic = p.payoff(x);
+    std::printf("%8.2f %12.4f %12.4f %12.4f\n", p.price(x), value, intrinsic,
+                value - intrinsic);
+  }
+  return 0;
+}

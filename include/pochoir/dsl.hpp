@@ -1,0 +1,162 @@
+// The Pochoir specification language, Figure 6 style.
+//
+// This veneer reproduces the paper's macro syntax on top of the template
+// library, which is exactly what "Phase 1" is: the macros expand into
+// ordinary C++ so the program compiles and runs with the checked
+// (functionally correct, unoptimized access) semantics, and the same source
+// is what the pochoirc translator rewrites into optimized postsource for
+// "Phase 2".
+//
+//   Pochoir_Boundary_2D(heat_bv, a, t, x, y)
+//     return a.get(t, mod(x, a.size(1)), mod(y, a.size(0)));
+//   Pochoir_Boundary_End
+//
+//   Pochoir_Shape_2D shape[] = {{1,0,0},{0,0,0},{0,1,0},{0,-1,0},{0,0,-1},{0,0,1}};
+//   Pochoir_2D heat(shape);
+//   Pochoir_Array_2D(double) u(X, Y);
+//   u.Register_Boundary(heat_bv);
+//   heat.Register_Array(u);
+//   Pochoir_Kernel_2D(heat_fn, t, x, y)
+//     u(t+1,x,y) = ... u(t,x-1,y) ...;
+//   Pochoir_Kernel_End
+//   heat.Run(T, heat_fn);
+//
+// Scope of the veneer: value type double (the paper's examples); the full
+// template API (pochoir::Stencil<D, Ts...>) supports arbitrary cell types
+// and multiple arrays.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <type_traits>
+
+#include "core/array.hpp"
+#include "core/boundary.hpp"
+#include "core/options.hpp"
+#include "core/shape.hpp"
+#include "core/stencil.hpp"
+#include "support/math_util.hpp"
+
+namespace pochoir::dsl {
+
+/// One cell of a shape literal: {dt, dx...}.
+template <int D>
+using ShapeCell = std::array<std::int64_t, D + 1>;
+
+/// Array declared with paper syntax: sizes in natural order, depth as an
+/// optional template parameter.
+template <typename T, int D, int Depth = 1>
+class ArrayDecl : public Array<T, D> {
+ public:
+  template <typename... Sz>
+    requires(sizeof...(Sz) == D)
+  explicit ArrayDecl(Sz... sizes)
+      : Array<T, D>(std::array<std::int64_t, D>{static_cast<std::int64_t>(sizes)...},
+                    Depth) {}
+
+  /// Paper-style boundary registration.
+  template <typename F>
+  void Register_Boundary(F&& fn) {
+    this->register_boundary(std::forward<F>(fn));
+  }
+};
+
+template <typename T, int Depth = 1>
+using Array1D = ArrayDecl<T, 1, Depth>;
+template <typename T, int Depth = 1>
+using Array2D = ArrayDecl<T, 2, Depth>;
+template <typename T, int Depth = 1>
+using Array3D = ArrayDecl<T, 3, Depth>;
+template <typename T, int Depth = 1>
+using Array4D = ArrayDecl<T, 4, Depth>;
+
+/// The Pochoir object of the veneer: a double-valued Stencil constructed
+/// from a C-array shape literal.
+template <int D>
+class Pochoir : public Stencil<D, double> {
+ public:
+  template <std::size_t N>
+  explicit Pochoir(const ShapeCell<D> (&cells)[N])
+      : Stencil<D, double>(make_shape(cells, std::make_index_sequence<N>{})) {}
+
+ private:
+  template <std::size_t N, std::size_t... Is>
+  static Shape<D> make_shape(const ShapeCell<D> (&cells)[N],
+                             std::index_sequence<Is...>) {
+    return Shape<D>{cells[Is]...};
+  }
+};
+
+}  // namespace pochoir::dsl
+
+// --- paper keywords ----------------------------------------------------------
+
+#define Pochoir_Shape_1D ::pochoir::dsl::ShapeCell<1>
+#define Pochoir_Shape_2D ::pochoir::dsl::ShapeCell<2>
+#define Pochoir_Shape_3D ::pochoir::dsl::ShapeCell<3>
+#define Pochoir_Shape_4D ::pochoir::dsl::ShapeCell<4>
+
+#define Pochoir_Array_1D(...) ::pochoir::dsl::Array1D<__VA_ARGS__>
+#define Pochoir_Array_2D(...) ::pochoir::dsl::Array2D<__VA_ARGS__>
+#define Pochoir_Array_3D(...) ::pochoir::dsl::Array3D<__VA_ARGS__>
+#define Pochoir_Array_4D(...) ::pochoir::dsl::Array4D<__VA_ARGS__>
+
+#define Pochoir_1D ::pochoir::dsl::Pochoir<1>
+#define Pochoir_2D ::pochoir::dsl::Pochoir<2>
+#define Pochoir_3D ::pochoir::dsl::Pochoir<3>
+#define Pochoir_4D ::pochoir::dsl::Pochoir<4>
+
+// Boundary functions are generic lambdas taking (array, t, idx) and binding
+// the paper's named spatial coordinates from idx.
+#define Pochoir_Boundary_1D(name, arr, t, x)                                 \
+  inline const auto name = [](const auto& arr, std::int64_t t,               \
+                              const std::array<std::int64_t, 1>& _pi) ->     \
+      typename std::decay_t<decltype(arr)>::value_type {                     \
+    [[maybe_unused]] const std::int64_t x = _pi[0];                          \
+    [[maybe_unused]] const std::int64_t t##_unused = t;
+
+#define Pochoir_Boundary_2D(name, arr, t, x, y)                              \
+  inline const auto name = [](const auto& arr, std::int64_t t,               \
+                              const std::array<std::int64_t, 2>& _pi) ->     \
+      typename std::decay_t<decltype(arr)>::value_type {                     \
+    [[maybe_unused]] const std::int64_t x = _pi[0];                          \
+    [[maybe_unused]] const std::int64_t y = _pi[1];                          \
+    [[maybe_unused]] const std::int64_t t##_unused = t;
+
+#define Pochoir_Boundary_3D(name, arr, t, x, y, z)                           \
+  inline const auto name = [](const auto& arr, std::int64_t t,               \
+                              const std::array<std::int64_t, 3>& _pi) ->     \
+      typename std::decay_t<decltype(arr)>::value_type {                     \
+    [[maybe_unused]] const std::int64_t x = _pi[0];                          \
+    [[maybe_unused]] const std::int64_t y = _pi[1];                          \
+    [[maybe_unused]] const std::int64_t z = _pi[2];                          \
+    [[maybe_unused]] const std::int64_t t##_unused = t;
+
+#define Pochoir_Boundary_4D(name, arr, t, x, y, z, w)                        \
+  inline const auto name = [](const auto& arr, std::int64_t t,               \
+                              const std::array<std::int64_t, 4>& _pi) ->     \
+      typename std::decay_t<decltype(arr)>::value_type {                     \
+    [[maybe_unused]] const std::int64_t x = _pi[0];                          \
+    [[maybe_unused]] const std::int64_t y = _pi[1];                          \
+    [[maybe_unused]] const std::int64_t z = _pi[2];                          \
+    [[maybe_unused]] const std::int64_t w = _pi[3];                          \
+    [[maybe_unused]] const std::int64_t t##_unused = t;
+
+#define Pochoir_Boundary_End \
+  }                          \
+  ;
+
+// Kernels are Phase-1 style: they capture the Pochoir arrays by reference
+// and access them through the checked operator() (Figure 6 semantics).
+#define Pochoir_Kernel_1D(name, t, x) \
+  auto name = [&](std::int64_t t, std::int64_t x) {
+#define Pochoir_Kernel_2D(name, t, x, y) \
+  auto name = [&](std::int64_t t, std::int64_t x, std::int64_t y) {
+#define Pochoir_Kernel_3D(name, t, x, y, z) \
+  auto name = [&](std::int64_t t, std::int64_t x, std::int64_t y, std::int64_t z) {
+#define Pochoir_Kernel_4D(name, t, x, y, z, w)                             \
+  auto name = [&](std::int64_t t, std::int64_t x, std::int64_t y,          \
+                  std::int64_t z, std::int64_t w) {
+#define Pochoir_Kernel_End \
+  }                        \
+  ;

@@ -1,0 +1,30 @@
+// Umbrella header: the complete public API of the Pochoir reproduction.
+//
+//   #include <pochoir/pochoir.hpp>
+//
+// Core types:   pochoir::Shape<D>, pochoir::Array<T,D>, pochoir::Stencil<D,Ts...>
+// Boundaries:   periodic_boundary, dirichlet_boundary, neumann_boundary, mixed_boundary
+// Algorithms:   Algorithm::{kTrap,kStrap,kLoopsParallel,kLoopsSerial}
+// Tuning:       Options<D>, autotune_coarsening
+// Fast path:    LinearStencil<T,D> (split-pointer base cases)
+// Analysis:     analyze_trap/analyze_strap/analyze_loops, CacheSim
+// DSL veneer:   <pochoir/dsl.hpp> (the paper's Figure 6 macro syntax)
+#pragma once
+
+#include "analysis/cache_sim.hpp"
+#include "analysis/dag_metrics.hpp"
+#include "core/array.hpp"
+#include "core/autotune.hpp"
+#include "core/boundary.hpp"
+#include "core/linear_stencil.hpp"
+#include "core/loops.hpp"
+#include "core/options.hpp"
+#include "core/shape.hpp"
+#include "core/stencil.hpp"
+#include "core/strap.hpp"
+#include "core/trap.hpp"
+#include "core/views.hpp"
+#include "geometry/cuts.hpp"
+#include "geometry/zoid.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/scheduler.hpp"

@@ -1,0 +1,86 @@
+#include "analysis/cache_sim.hpp"
+
+#include "support/assertion.hpp"
+#include "support/math_util.hpp"
+
+namespace pochoir {
+
+CacheSim::CacheSim(std::int64_t capacity_bytes, int line_bytes)
+    : capacity_bytes_(capacity_bytes), line_bytes_(line_bytes) {
+  POCHOIR_ASSERT_MSG(is_pow2(line_bytes), "cache line size must be 2^k");
+  POCHOIR_ASSERT(capacity_bytes >= line_bytes);
+  line_shift_ = ilog2(line_bytes);
+  max_lines_ = capacity_bytes_ / line_bytes_;
+  pool_.reserve(static_cast<std::size_t>(max_lines_));
+  index_.reserve(static_cast<std::size_t>(max_lines_) * 2);
+}
+
+void CacheSim::touch(const void* p, std::size_t bytes) {
+  const auto addr = reinterpret_cast<std::uint64_t>(p);
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) access_line(line);
+}
+
+void CacheSim::access_line(std::uint64_t line) {
+  ++references_;
+  if (line == last_line_) return;  // hit on the MRU line, already in front
+  last_line_ = line;
+
+  if (auto it = index_.find(line); it != index_.end()) {
+    const std::int32_t i = it->second;
+    if (i != head_) {
+      unlink(i);
+      push_front(i);
+    }
+    return;
+  }
+
+  ++misses_;
+  std::int32_t i;
+  if (static_cast<std::int64_t>(pool_.size()) < max_lines_) {
+    i = static_cast<std::int32_t>(pool_.size());
+    pool_.push_back({line, -1, -1});
+  } else {
+    i = tail_;  // evict least-recently used
+    unlink(i);
+    index_.erase(pool_[static_cast<std::size_t>(i)].line);
+    pool_[static_cast<std::size_t>(i)].line = line;
+  }
+  index_.emplace(line, i);
+  push_front(i);
+}
+
+void CacheSim::unlink(std::int32_t i) {
+  Node& n = pool_[static_cast<std::size_t>(i)];
+  if (n.prev >= 0) {
+    pool_[static_cast<std::size_t>(n.prev)].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next >= 0) {
+    pool_[static_cast<std::size_t>(n.next)].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+  n.prev = n.next = -1;
+}
+
+void CacheSim::push_front(std::int32_t i) {
+  Node& n = pool_[static_cast<std::size_t>(i)];
+  n.prev = -1;
+  n.next = head_;
+  if (head_ >= 0) pool_[static_cast<std::size_t>(head_)].prev = i;
+  head_ = i;
+  if (tail_ < 0) tail_ = i;
+}
+
+void CacheSim::reset() {
+  pool_.clear();
+  index_.clear();
+  head_ = tail_ = -1;
+  last_line_ = ~0ULL;
+  references_ = misses_ = 0;
+}
+
+}  // namespace pochoir

@@ -1,0 +1,95 @@
+// Ideal-cache simulator — the perf substrate for Figure 10.
+//
+// The paper verifies cache behaviour with hardware counters; the
+// theoretical bounds (Θ(hw^d / (M^{1/d} B)) misses) are stated in the
+// ideal-cache model [Frigo et al. 1999]: a fully associative cache of M
+// bytes with B-byte lines and optimal... approximated-by-LRU replacement.
+// We simulate exactly that model: every array access of a traced serial run
+// is fed through an LRU over line addresses, and the miss ratio
+// (misses / references) reproduces Figure 10's series.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace pochoir {
+
+/// Fully associative LRU cache over line addresses.
+class CacheSim {
+ public:
+  /// `capacity_bytes` is M; `line_bytes` is B (a power of two).
+  explicit CacheSim(std::int64_t capacity_bytes, int line_bytes = 64);
+
+  /// Records an access of `bytes` bytes at `p` (may straddle lines).
+  void touch(const void* p, std::size_t bytes);
+
+  /// Number of line references so far.
+  [[nodiscard]] std::uint64_t references() const { return references_; }
+
+  /// Number of references that missed.
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  /// misses() / references(), the quantity plotted in Figure 10.
+  [[nodiscard]] double miss_ratio() const {
+    return references_ == 0
+               ? 0.0
+               : static_cast<double>(misses_) / static_cast<double>(references_);
+  }
+
+  [[nodiscard]] std::int64_t capacity_bytes() const { return capacity_bytes_; }
+  [[nodiscard]] int line_bytes() const { return line_bytes_; }
+
+  /// Empties the cache and zeroes the counters.
+  void reset();
+
+ private:
+  struct Node {
+    std::uint64_t line;
+    std::int32_t prev;
+    std::int32_t next;
+  };
+
+  void access_line(std::uint64_t line);
+  void unlink(std::int32_t i);
+  void push_front(std::int32_t i);
+
+  std::int64_t capacity_bytes_;
+  int line_bytes_;
+  int line_shift_;
+  std::int64_t max_lines_;
+
+  std::vector<Node> pool_;
+  std::unordered_map<std::uint64_t, std::int32_t> index_;
+  std::int32_t head_ = -1;
+  std::int32_t tail_ = -1;
+  std::uint64_t last_line_ = ~0ULL;  // single-entry fast path
+
+  std::uint64_t references_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// An inclusive cache hierarchy: every touch is fed to each level, giving
+/// per-level miss ratios from a single traced run (L1/L2/L3 in Figure 10's
+/// experimental setup).
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(std::vector<CacheSim> levels)
+      : levels_(std::move(levels)) {}
+
+  void touch(const void* p, std::size_t bytes) {
+    for (auto& level : levels_) level.touch(p, bytes);
+  }
+
+  [[nodiscard]] const CacheSim& level(std::size_t i) const { return levels_[i]; }
+  [[nodiscard]] std::size_t level_count() const { return levels_.size(); }
+
+  void reset() {
+    for (auto& level : levels_) level.reset();
+  }
+
+ private:
+  std::vector<CacheSim> levels_;
+};
+
+}  // namespace pochoir

@@ -1,0 +1,20 @@
+#include "compiler/driver.hpp"
+
+#include "compiler/lexer.hpp"
+#include "compiler/parser.hpp"
+
+namespace pochoir::psc {
+
+TranslateResult translate(const std::string& source, IndexMode mode) {
+  TranslateResult result;
+  const TokenStream tokens = lex(source);
+  const ParsedSource parsed = parse(tokens);
+  for (const auto& d : parsed.diagnostics) result.diagnostics.push_back(d);
+  CodegenResult gen = generate(tokens, parsed, mode);
+  for (const auto& d : gen.diagnostics) result.diagnostics.push_back(d);
+  result.postsource = std::move(gen.postsource);
+  result.split_pointer_kernels = std::move(gen.split_pointer_kernels);
+  return result;
+}
+
+}  // namespace pochoir::psc

@@ -1,0 +1,22 @@
+// pochoirc driver: source text in, postsource text out.
+#pragma once
+
+#include <string>
+
+#include "compiler/codegen.hpp"
+
+namespace pochoir::psc {
+
+struct TranslateResult {
+  std::string postsource;
+  std::vector<std::string> diagnostics;
+  std::vector<std::string> split_pointer_kernels;
+  bool ok = true;
+};
+
+/// Translates a Pochoir-compliant source (Phase 1) into optimized
+/// postsource (Phase 2).
+TranslateResult translate(const std::string& source,
+                          IndexMode mode = IndexMode::kAuto);
+
+}  // namespace pochoir::psc

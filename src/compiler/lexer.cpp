@@ -1,0 +1,136 @@
+#include "compiler/lexer.hpp"
+
+#include <cctype>
+
+namespace pochoir::psc {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_cont(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+TokenStream lex(const std::string& src) {
+  TokenStream out;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokenKind kind, std::size_t begin, std::size_t end) {
+    Token tok;
+    tok.kind = kind;
+    tok.text = src.substr(begin, end - begin);
+    tok.offset = begin;
+    tok.line = line;
+    for (char c : tok.text) {
+      if (c == '\n') ++line;
+    }
+    out.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    const std::size_t begin = i;
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      while (i < n && (src[i] == ' ' || src[i] == '\t' || src[i] == '\r' ||
+                       src[i] == '\n')) {
+        ++i;
+      }
+      push(TokenKind::kWhitespace, begin, i);
+      continue;
+    }
+
+    if (c == '#') {
+      // Preprocessor line (with continuations).
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      push(TokenKind::kDirective, begin, i);
+      continue;
+    }
+
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      push(TokenKind::kComment, begin, i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) ++i;
+      i = i + 1 < n ? i + 2 : n;
+      push(TokenKind::kComment, begin, i);
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      push(TokenKind::kString, begin, i);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      while (i < n && ident_cont(src[i])) ++i;
+      push(TokenKind::kIdentifier, begin, i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      // Numeric literal including floats, exponents and suffixes.
+      while (i < n &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) != 0 ||
+              src[i] == '.' ||
+              ((src[i] == '+' || src[i] == '-') && i > begin &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                src[i - 1] == 'P')))) {
+        ++i;
+      }
+      push(TokenKind::kNumber, begin, i);
+      continue;
+    }
+
+    // Multi-character punctuators we care about keeping whole.
+    static const char* two_char[] = {"::", "->", "<<", ">>", "==", "!=",
+                                     "<=", ">=", "&&", "||", "+=", "-=",
+                                     "*=", "/=", "++", "--"};
+    bool matched = false;
+    for (const char* op : two_char) {
+      if (src.compare(i, 2, op) == 0) {
+        i += 2;
+        push(TokenKind::kPunct, begin, i);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    ++i;
+    push(TokenKind::kPunct, begin, i);
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  end.line = line;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace pochoir::psc

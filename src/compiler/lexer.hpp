@@ -1,0 +1,13 @@
+// C++ surface lexer for pochoirc (see token.hpp for the philosophy).
+#pragma once
+
+#include <string>
+
+#include "compiler/token.hpp"
+
+namespace pochoir::psc {
+
+/// Tokenizes `source`.  Never fails: unrecognized bytes become punctuation.
+TokenStream lex(const std::string& source);
+
+}  // namespace pochoir::psc

@@ -1,0 +1,443 @@
+#include "compiler/parser.hpp"
+
+#include <cstdlib>
+
+namespace pochoir::psc {
+namespace {
+
+/// Cursor over the token stream that skips whitespace/comments on demand.
+class Cursor {
+ public:
+  explicit Cursor(const TokenStream& tokens) : toks_(tokens) {}
+
+  [[nodiscard]] std::size_t pos() const { return i_; }
+  void seek(std::size_t i) { i_ = i; }
+  [[nodiscard]] bool done() const {
+    return i_ >= toks_.size() || toks_[i_].kind == TokenKind::kEnd;
+  }
+
+  /// Index of the next significant token at or after `from`.
+  [[nodiscard]] std::size_t next_sig(std::size_t from) const {
+    std::size_t j = from;
+    while (j < toks_.size() && (toks_[j].kind == TokenKind::kWhitespace ||
+                                toks_[j].kind == TokenKind::kComment)) {
+      ++j;
+    }
+    return j;
+  }
+
+  const Token& sig() {
+    i_ = next_sig(i_);
+    return toks_[std::min(i_, toks_.size() - 1)];
+  }
+
+  const Token& peek_sig(int ahead = 1) const {
+    std::size_t j = next_sig(i_);
+    for (int k = 0; k < ahead; ++k) j = next_sig(j + 1);
+    return toks_[std::min(j, toks_.size() - 1)];
+  }
+
+  void advance() { ++i_; }
+  void advance_sig() {
+    i_ = next_sig(i_);
+    ++i_;
+  }
+
+  const TokenStream& toks_;
+  std::size_t i_ = 0;
+};
+
+int dim_suffix(const std::string& ident, const std::string& prefix) {
+  // Matches prefix + "<digit>D"; returns the dimension or 0.
+  if (ident.size() != prefix.size() + 2) return 0;
+  if (ident.compare(0, prefix.size(), prefix) != 0) return 0;
+  const char d = ident[prefix.size()];
+  if (d < '1' || d > '9' || ident.back() != 'D') return 0;
+  return d - '0';
+}
+
+std::optional<std::int64_t> parse_int(Cursor& c) {
+  std::int64_t sign = 1;
+  if (c.sig().is_punct("-")) {
+    sign = -1;
+    c.advance_sig();
+  } else if (c.sig().is_punct("+")) {
+    c.advance_sig();
+  }
+  if (!c.sig().is(TokenKind::kNumber)) return std::nullopt;
+  const std::int64_t v = std::strtoll(c.sig().text.c_str(), nullptr, 0);
+  c.advance_sig();
+  return sign * v;
+}
+
+/// Collects the text of a balanced argument list starting at '('; returns
+/// the top-level comma-separated argument texts and leaves the cursor past
+/// the closing ')'.  Returns false on imbalance.
+bool parse_arg_texts(Cursor& c, std::vector<std::string>* args) {
+  if (!c.sig().is_punct("(")) return false;
+  c.advance_sig();
+  int depth = 0;
+  std::string cur;
+  while (!c.done()) {
+    const Token& tok = c.toks_[c.pos()];
+    if (tok.kind == TokenKind::kPunct) {
+      if (tok.text == "(" || tok.text == "[" || tok.text == "{") ++depth;
+      if (tok.text == ")" || tok.text == "]" || tok.text == "}") {
+        if (tok.text == ")" && depth == 0) {
+          if (!cur.empty()) args->push_back(cur);
+          c.advance();
+          return true;
+        }
+        --depth;
+      }
+      if (tok.text == "," && depth == 0) {
+        args->push_back(cur);
+        cur.clear();
+        c.advance();
+        continue;
+      }
+    }
+    if (tok.kind != TokenKind::kComment) cur += tok.text;
+    c.advance();
+  }
+  return false;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) --b;
+  return s.substr(a, b - a);
+}
+
+/// Parses `{n, n, ...}` cell lists of a shape initializer.
+bool parse_shape_cells(Cursor& c, int dim,
+                       std::vector<std::vector<std::int64_t>>* cells) {
+  if (!c.sig().is_punct("{")) return false;
+  c.advance_sig();
+  while (true) {
+    if (c.sig().is_punct("}")) {  // end of the outer initializer
+      c.advance_sig();
+      return true;
+    }
+    if (!c.sig().is_punct("{")) return false;
+    c.advance_sig();
+    std::vector<std::int64_t> cell;
+    while (true) {
+      auto v = parse_int(c);
+      if (!v.has_value()) return false;
+      cell.push_back(*v);
+      if (c.sig().is_punct(",")) {
+        c.advance_sig();
+        continue;
+      }
+      break;
+    }
+    if (!c.sig().is_punct("}")) return false;
+    c.advance_sig();
+    if (static_cast<int>(cell.size()) != dim + 1) return false;
+    cells->push_back(std::move(cell));
+    if (c.sig().is_punct(",")) c.advance_sig();
+  }
+}
+
+/// Parses one index argument of a kernel access: `v`, `v+k`, or `v-k`,
+/// where v is the expected induction variable.
+bool parse_affine_arg(const std::string& text, const std::string& var,
+                      std::int64_t* offset) {
+  const std::string s = trim(text);
+  if (s == var) {
+    *offset = 0;
+    return true;
+  }
+  if (s.size() <= var.size() || s.compare(0, var.size(), var) != 0) {
+    return false;
+  }
+  std::size_t i = var.size();
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) ++i;
+  if (i >= s.size() || (s[i] != '+' && s[i] != '-')) return false;
+  const std::int64_t sign = s[i] == '-' ? -1 : 1;
+  ++i;
+  const std::string rest = trim(s.substr(i));
+  if (rest.empty()) return false;
+  for (char ch : rest) {
+    if (std::isdigit(static_cast<unsigned char>(ch)) == 0) return false;
+  }
+  *offset = sign * std::strtoll(rest.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+ParsedSource parse(const TokenStream& tokens) {
+  ParsedSource out;
+  Cursor c(tokens);
+
+  auto find_end_marker = [&](const char* marker, std::size_t from,
+                             std::size_t* marker_pos) {
+    for (std::size_t j = from; j < tokens.size(); ++j) {
+      if (tokens[j].is_ident(marker)) {
+        *marker_pos = j;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (!c.done()) {
+    const std::size_t start = c.next_sig(c.pos());
+    if (start >= tokens.size() || tokens[start].kind == TokenKind::kEnd) break;
+    const Token& tok = tokens[start];
+
+    if (tok.kind != TokenKind::kIdentifier) {
+      c.seek(start + 1);
+      continue;
+    }
+
+    // --- Pochoir_Shape_dD name[] = { ... }; ------------------------------
+    if (int dim = dim_suffix(tok.text, "Pochoir_Shape_")) {
+      Cursor probe(tokens);
+      probe.seek(start + 1);
+      if (probe.sig().kind == TokenKind::kIdentifier) {
+        ShapeDecl decl;
+        decl.dim = dim;
+        decl.name = probe.sig().text;
+        probe.advance_sig();
+        bool ok = probe.sig().is_punct("[");
+        if (ok) probe.advance_sig();
+        ok = ok && probe.sig().is_punct("]");
+        if (ok) probe.advance_sig();
+        ok = ok && probe.sig().is_punct("=");
+        if (ok) probe.advance_sig();
+        ok = ok && parse_shape_cells(probe, dim, &decl.cells);
+        ok = ok && probe.sig().is_punct(";");
+        if (ok) {
+          probe.advance_sig();
+          decl.span = {start, probe.pos()};
+          out.shapes.push_back(std::move(decl));
+          c.seek(probe.pos());
+          continue;
+        }
+        out.diagnostics.push_back("line " + std::to_string(tok.line) +
+                                  ": malformed Pochoir_Shape declaration");
+      }
+      c.seek(start + 1);
+      continue;
+    }
+
+    // --- Pochoir_Array_dD(type[, depth]) name(sizes...); -----------------
+    if (int dim = dim_suffix(tok.text, "Pochoir_Array_")) {
+      Cursor probe(tokens);
+      probe.seek(start + 1);
+      std::vector<std::string> targs;
+      if (parse_arg_texts(probe, &targs) && !targs.empty() &&
+          probe.sig().kind == TokenKind::kIdentifier) {
+        ArrayDecl decl;
+        decl.dim = dim;
+        decl.type = trim(targs[0]);
+        if (targs.size() > 1) {
+          decl.depth = std::strtoll(trim(targs[1]).c_str(), nullptr, 10);
+        }
+        decl.name = probe.sig().text;
+        probe.advance_sig();
+        std::vector<std::string> sizes;
+        if (parse_arg_texts(probe, &sizes) &&
+            static_cast<int>(sizes.size()) == dim && probe.sig().is_punct(";")) {
+          probe.advance_sig();
+          for (auto& s : sizes) decl.sizes.push_back(trim(s));
+          decl.span = {start, probe.pos()};
+          out.arrays.push_back(std::move(decl));
+          c.seek(probe.pos());
+          continue;
+        }
+      }
+      out.diagnostics.push_back("line " + std::to_string(tok.line) +
+                                ": malformed Pochoir_Array declaration");
+      c.seek(start + 1);
+      continue;
+    }
+
+    // --- Pochoir_Boundary_dD(...) body Pochoir_Boundary_End --------------
+    if (int dim = dim_suffix(tok.text, "Pochoir_Boundary_")) {
+      Cursor probe(tokens);
+      probe.seek(start + 1);
+      std::vector<std::string> args;
+      std::size_t end_pos = 0;
+      if (parse_arg_texts(probe, &args) &&
+          static_cast<int>(args.size()) == dim + 3 &&
+          find_end_marker("Pochoir_Boundary_End", probe.pos(), &end_pos)) {
+        BoundaryDecl decl;
+        decl.dim = dim;
+        decl.name = trim(args[0]);
+        decl.array_param = trim(args[1]);
+        for (std::size_t k = 2; k < args.size(); ++k) {
+          decl.index_params.push_back(trim(args[k]));
+        }
+        decl.body = {probe.pos(), end_pos};
+        decl.span = {start, end_pos + 1};
+        out.boundaries.push_back(std::move(decl));
+        c.seek(end_pos + 1);
+        continue;
+      }
+      out.diagnostics.push_back("line " + std::to_string(tok.line) +
+                                ": malformed Pochoir_Boundary construct");
+      c.seek(start + 1);
+      continue;
+    }
+
+    // --- Pochoir_Kernel_dD(...) body Pochoir_Kernel_End ------------------
+    if (int dim = dim_suffix(tok.text, "Pochoir_Kernel_")) {
+      Cursor probe(tokens);
+      probe.seek(start + 1);
+      std::vector<std::string> args;
+      std::size_t end_pos = 0;
+      if (parse_arg_texts(probe, &args) &&
+          static_cast<int>(args.size()) == dim + 2 &&
+          find_end_marker("Pochoir_Kernel_End", probe.pos(), &end_pos)) {
+        KernelDecl decl;
+        decl.dim = dim;
+        decl.name = trim(args[0]);
+        for (std::size_t k = 1; k < args.size(); ++k) {
+          decl.index_params.push_back(trim(args[k]));
+        }
+        decl.body = {probe.pos(), end_pos};
+        decl.span = {start, end_pos + 1};
+        out.kernels.push_back(std::move(decl));
+        c.seek(end_pos + 1);
+        continue;
+      }
+      out.diagnostics.push_back("line " + std::to_string(tok.line) +
+                                ": malformed Pochoir_Kernel construct");
+      c.seek(start + 1);
+      continue;
+    }
+
+    // --- Pochoir_dD name(shape); ------------------------------------------
+    if (int dim = dim_suffix(tok.text, "Pochoir_")) {
+      Cursor probe(tokens);
+      probe.seek(start + 1);
+      if (probe.sig().kind == TokenKind::kIdentifier) {
+        ObjectDecl decl;
+        decl.dim = dim;
+        decl.name = probe.sig().text;
+        probe.advance_sig();
+        std::vector<std::string> args;
+        if (parse_arg_texts(probe, &args) && args.size() == 1 &&
+            probe.sig().is_punct(";")) {
+          probe.advance_sig();
+          decl.shape_name = trim(args[0]);
+          decl.span = {start, probe.pos()};
+          out.objects.push_back(std::move(decl));
+          c.seek(probe.pos());
+          continue;
+        }
+      }
+      c.seek(start + 1);
+      continue;
+    }
+
+    // --- member statements: x.Register_Array(y); x.Register_Boundary(y);
+    //     x.Run(T, k); ------------------------------------------------------
+    if (tokens[c.next_sig(start + 1)].is_punct(".")) {
+      const std::size_t dot = c.next_sig(start + 1);
+      const std::size_t member = c.next_sig(dot + 1);
+      const std::string& m = tokens[member].text;
+      if (tokens[member].kind == TokenKind::kIdentifier &&
+          (m == "Register_Array" || m == "Register_Boundary" || m == "Run")) {
+        Cursor probe(tokens);
+        probe.seek(member + 1);
+        std::vector<std::string> args;
+        if (parse_arg_texts(probe, &args) && probe.sig().is_punct(";")) {
+          probe.advance_sig();
+          const Span span{start, probe.pos()};
+          if (m == "Register_Array" && args.size() == 1) {
+            out.register_arrays.push_back({span, tok.text, trim(args[0])});
+            c.seek(probe.pos());
+            continue;
+          }
+          if (m == "Register_Boundary" && args.size() == 1) {
+            out.register_boundaries.push_back({span, tok.text, trim(args[0])});
+            c.seek(probe.pos());
+            continue;
+          }
+          if (m == "Run" && args.size() == 2) {
+            out.runs.push_back({span, tok.text, trim(args[0]), trim(args[1])});
+            c.seek(probe.pos());
+            continue;
+          }
+        }
+      }
+    }
+
+    c.seek(start + 1);
+  }
+
+  // --- kernel access analysis (for -split-pointer eligibility) -----------
+  for (KernelDecl& kern : out.kernels) {
+    kern.analyzable = true;
+    for (std::size_t j = kern.body.first; j < kern.body.last; ++j) {
+      const Token& t = tokens[j];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      const ArrayDecl* arr = out.find_array(t.text);
+      if (arr == nullptr) continue;
+      // Record distinct arrays.
+      bool seen = false;
+      for (const auto& name : kern.arrays_read) seen |= name == t.text;
+      if (!seen) kern.arrays_read.push_back(t.text);
+
+      Cursor probe(tokens);
+      probe.seek(j + 1);
+      const std::size_t open = probe.next_sig(j + 1);
+      if (open >= kern.body.last || !tokens[open].is_punct("(")) {
+        kern.analyzable = false;  // array used other than via a plain call
+        continue;
+      }
+      probe.seek(open);
+      std::vector<std::string> args;
+      if (!parse_arg_texts(probe, &args) ||
+          static_cast<int>(args.size()) != kern.dim + 1) {
+        kern.analyzable = false;
+        continue;
+      }
+      KernelAccess access;
+      access.array = t.text;
+      access.span = {j, probe.pos()};
+      bool affine = true;
+      for (std::size_t k = 0; k < args.size(); ++k) {
+        std::int64_t offset = 0;
+        affine = affine && parse_affine_arg(args[k], kern.index_params[k], &offset);
+        access.offsets.push_back(offset);
+      }
+      if (!affine) {
+        kern.analyzable = false;
+        continue;
+      }
+      const std::size_t after = c.next_sig(probe.pos());
+      access.is_write = tokens[after].is_punct("=");
+      kern.accesses.push_back(std::move(access));
+    }
+    // Split-pointer additionally requires exactly one write, to the home
+    // cell, and a single-statement body.
+    if (kern.analyzable) {
+      int writes = 0;
+      int statements = 0;
+      for (const auto& a : kern.accesses) {
+        if (a.is_write) {
+          ++writes;
+          for (std::size_t k = 1; k < a.offsets.size(); ++k) {
+            if (a.offsets[k] != 0) kern.analyzable = false;
+          }
+        }
+      }
+      for (std::size_t j = kern.body.first; j < kern.body.last; ++j) {
+        if (tokens[j].is_punct(";")) ++statements;
+        if (tokens[j].kind == TokenKind::kDirective) kern.analyzable = false;
+      }
+      if (writes != 1 || statements != 1) kern.analyzable = false;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace pochoir::psc

@@ -1,0 +1,15 @@
+// Construct parser for pochoirc: recognizes the §2 grammar inside an
+// otherwise uninterpreted C++ token stream.
+#pragma once
+
+#include "compiler/ast.hpp"
+#include "compiler/token.hpp"
+
+namespace pochoir::psc {
+
+/// Extracts every Pochoir construct.  Unrecognized Pochoir-looking text is
+/// reported in `diagnostics` but never fatal (the host compiler will see
+/// the original text).
+ParsedSource parse(const TokenStream& tokens);
+
+}  // namespace pochoir::psc

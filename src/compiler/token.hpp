@@ -1,0 +1,55 @@
+// Token model for the pochoirc translator.
+//
+// pochoirc follows the paper's two-phase design: it parses only the Pochoir
+// constructs and treats every other token as uninterpreted text that the
+// host C++ compiler will check (the Pochoir Guarantee says Phase 1 already
+// proved it compiles).  The lexer therefore keeps *every* byte of the
+// input — including whitespace and comments — so unparsed regions can be
+// reproduced verbatim in the postsource.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pochoir::psc {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,      // string or char literal
+  kPunct,       // one operator/punctuator character sequence
+  kComment,
+  kWhitespace,  // spaces and newlines
+  kDirective,   // a whole preprocessor line
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::size_t offset = 0;  ///< byte offset in the original source
+  int line = 1;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] bool is_ident(const char* s) const {
+    return kind == TokenKind::kIdentifier && text == s;
+  }
+  [[nodiscard]] bool is_punct(const char* s) const {
+    return kind == TokenKind::kPunct && text == s;
+  }
+};
+
+using TokenStream = std::vector<Token>;
+
+/// Concatenates the texts of tokens [first, last).
+inline std::string splice(const TokenStream& tokens, std::size_t first,
+                          std::size_t last) {
+  std::string out;
+  for (std::size_t i = first; i < last && i < tokens.size(); ++i) {
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+}  // namespace pochoir::psc

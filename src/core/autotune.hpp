@@ -1,0 +1,63 @@
+// ISAT-style coarsening autotuner (§4).
+//
+// The paper integrates the Intel Software Autotuning Tool to search for the
+// optimal base-case size, noting that heuristics are used by default
+// because full autotuning "can take hours".  This is the same idea at
+// library scale: a grid search over (time, space) thresholds that times a
+// caller-provided trial run and returns the fastest options.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "support/assertion.hpp"
+
+namespace pochoir {
+
+template <int D>
+struct AutotuneSample {
+  Options<D> options;
+  double seconds = 0;
+};
+
+template <int D>
+struct AutotuneResult {
+  Options<D> best;
+  double best_seconds = 0;
+  std::vector<AutotuneSample<D>> samples;
+};
+
+/// Grid-searches coarsening thresholds.  `run_and_time(options)` must run a
+/// representative slice of the real computation and return elapsed seconds.
+/// When `protect_unit_stride` is set (the paper's >= 3D heuristic), the
+/// unit-stride dimension is never cut regardless of the candidate width.
+template <int D, typename RunFn>
+AutotuneResult<D> autotune_coarsening(
+    RunFn&& run_and_time, const std::vector<std::int64_t>& dt_candidates,
+    const std::vector<std::int64_t>& dx_candidates,
+    bool protect_unit_stride = (D >= 3)) {
+  POCHOIR_ASSERT(!dt_candidates.empty() && !dx_candidates.empty());
+  AutotuneResult<D> result;
+  bool first = true;
+  for (const std::int64_t dt : dt_candidates) {
+    for (const std::int64_t dx : dx_candidates) {
+      Options<D> opts;
+      opts.dt_threshold = dt;
+      opts.dx_threshold.fill(dx);
+      if (protect_unit_stride) {
+        opts.dx_threshold[D - 1] = Options<D>::kNeverCut;
+      }
+      const double secs = run_and_time(opts);
+      result.samples.push_back({opts, secs});
+      if (first || secs < result.best_seconds) {
+        result.best = opts;
+        result.best_seconds = secs;
+        first = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pochoir

@@ -1,0 +1,108 @@
+// Boundary-condition library — §2 and §4 of the paper.
+//
+// Pochoir unifies periodic and nonperiodic stencils in one algorithm: the
+// walker never special-cases the grid edge; instead, every off-domain read
+// (which only the boundary clone can make) is routed to the array's
+// registered boundary function.  This header provides the conditions used
+// in the paper — periodic wrapping (Figure 6), constant and time-varying
+// Dirichlet (Figure 11a), zero-derivative Neumann via clamping
+// (Figure 11b) — plus per-dimension mixtures such as a cylinder.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/array.hpp"
+#include "support/math_util.hpp"
+
+namespace pochoir {
+
+/// Kind of condition applied along one dimension by mixed_boundary().
+enum class BoundaryKind {
+  kPeriodic,  ///< wrap modulo the extent
+  kDirichlet, ///< constant value outside the domain
+  kNeumann,   ///< zero derivative: clamp to the nearest edge point
+};
+
+/// Periodic wrap-around in every dimension (Figure 6's heat_bv).
+template <typename T, int D>
+BoundaryFn<T, D> periodic_boundary() {
+  return [](const Array<T, D>& a, std::int64_t t,
+            const std::array<std::int64_t, D>& idx) -> T {
+    std::array<std::int64_t, D> wrapped;
+    for (int i = 0; i < D; ++i) wrapped[i] = mod_floor(idx[i], a.extent(i));
+    return a.at(t, wrapped);
+  };
+}
+
+/// Constant Dirichlet condition: off-domain points hold `value`.
+template <typename T, int D>
+BoundaryFn<T, D> dirichlet_boundary(T value) {
+  return [value](const Array<T, D>&, std::int64_t,
+                 const std::array<std::int64_t, D>&) -> T { return value; };
+}
+
+/// Time-varying Dirichlet condition (Figure 11(a): `return 100 + 0.2*t;`).
+/// `fn(t, idx)` computes the boundary value.
+template <typename T, int D, typename F>
+BoundaryFn<T, D> dirichlet_boundary_fn(F fn) {
+  return [fn](const Array<T, D>&, std::int64_t t,
+              const std::array<std::int64_t, D>& idx) -> T {
+    return fn(t, idx);
+  };
+}
+
+/// Zero-derivative Neumann condition: clamp coordinates to the domain edge
+/// (Figure 11(b)).
+template <typename T, int D>
+BoundaryFn<T, D> neumann_boundary() {
+  return [](const Array<T, D>& a, std::int64_t t,
+            const std::array<std::int64_t, D>& idx) -> T {
+    std::array<std::int64_t, D> clamped;
+    for (int i = 0; i < D; ++i) {
+      std::int64_t v = idx[i];
+      if (v < 0) v = 0;
+      if (v >= a.extent(i)) v = a.extent(i) - 1;
+      clamped[i] = v;
+    }
+    return a.at(t, clamped);
+  };
+}
+
+/// Per-dimension mixture, e.g. a 2D cylinder = {kPeriodic, kDirichlet}.
+/// `dirichlet_value` is used for dimensions of kind kDirichlet.
+template <typename T, int D>
+BoundaryFn<T, D> mixed_boundary(std::array<BoundaryKind, D> kinds,
+                                T dirichlet_value = T{}) {
+  return [kinds, dirichlet_value](const Array<T, D>& a, std::int64_t t,
+                                  const std::array<std::int64_t, D>& idx) -> T {
+    std::array<std::int64_t, D> mapped;
+    for (int i = 0; i < D; ++i) {
+      std::int64_t v = idx[i];
+      const std::int64_t n = a.extent(i);
+      if (v >= 0 && v < n) {
+        mapped[i] = v;
+        continue;
+      }
+      switch (kinds[static_cast<std::size_t>(i)]) {
+        case BoundaryKind::kPeriodic:
+          mapped[i] = mod_floor(v, n);
+          break;
+        case BoundaryKind::kNeumann:
+          mapped[i] = v < 0 ? 0 : n - 1;
+          break;
+        case BoundaryKind::kDirichlet:
+          return dirichlet_value;
+      }
+    }
+    return a.at(t, mapped);
+  };
+}
+
+/// Zero-valued Dirichlet shorthand.
+template <typename T, int D>
+BoundaryFn<T, D> zero_boundary() {
+  return dirichlet_boundary<T, D>(T{});
+}
+
+}  // namespace pochoir

@@ -1,0 +1,188 @@
+// Tap-based linear stencils with pointer-walking base cases — the library
+// form of the compiler's -split-pointer optimization (§4, Figure 12(c)).
+//
+// A linear stencil computes  u(t+home, x) = sum_j coeff_j * u(t+dt_j, x+dx_j).
+// Given the taps, the base case materializes one C-style pointer per term
+// and walks all of them down the unit-stride dimension, exactly like the
+// postsource in Figure 12(c): address arithmetic happens once per row, and
+// the inner loop is pure loads/stores with pointer increments.  The generic
+// per-point path (views + full index arithmetic per access) plays the role
+// of -split-macro-shadow in the Figure 13 comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/array.hpp"
+#include "core/shape.hpp"
+#include "geometry/zoid.hpp"
+#include "support/assertion.hpp"
+#include "support/math_util.hpp"
+
+namespace pochoir {
+
+template <typename T, int D>
+class LinearStencil {
+ public:
+  /// One term of the update: value at offset (dt, dx) scaled by coeff.
+  struct Tap {
+    std::int64_t dt = 0;
+    std::array<std::int64_t, D> dx{};
+    T coeff{};
+  };
+
+  /// `home_dt` is the time offset of the written cell (1 for the
+  /// u(t+1,...) = f(u(t,...)) convention).
+  LinearStencil(std::int64_t home_dt, std::vector<Tap> taps)
+      : home_dt_(home_dt), taps_(std::move(taps)) {
+    POCHOIR_ASSERT_MSG(!taps_.empty(), "a linear stencil needs taps");
+    for (const Tap& tap : taps_) {
+      POCHOIR_ASSERT_MSG(tap.dt < home_dt_,
+                         "taps must read strictly earlier time levels");
+    }
+  }
+
+  [[nodiscard]] std::int64_t home_dt() const { return home_dt_; }
+  [[nodiscard]] const std::vector<Tap>& taps() const { return taps_; }
+
+  /// The equivalent Pochoir shape (home cell first).
+  [[nodiscard]] Shape<D> shape() const {
+    std::vector<ShapeCell<D>> cells;
+    cells.reserve(taps_.size() + 1);
+    cells.push_back({home_dt_, {}});
+    for (const Tap& tap : taps_) cells.push_back({tap.dt, tap.dx});
+    return Shape<D>(std::move(cells));
+  }
+
+  /// Split-pointer base case for interior zoids: per row, one pointer per
+  /// tap, incremented down the unit-stride dimension.
+  void base_interior(Array<T, D>& a, const Zoid<D>& z) const {
+    const std::int64_t levels = a.time_levels();
+    const std::int64_t ls = a.level_size();
+    T* const base = a.data();
+    const std::size_t num_taps = taps_.size();
+    POCHOIR_ASSERT(num_taps <= kMaxTaps);
+
+    // Per-tap spatial offset (constant across the walk).
+    std::array<std::int64_t, kMaxTaps> tap_spatial{};
+    for (std::size_t j = 0; j < num_taps; ++j) {
+      std::int64_t off = 0;
+      for (int i = 0; i < D; ++i) off += taps_[j].dx[i] * a.stride(i);
+      tap_spatial[j] = off;
+    }
+
+    std::array<std::int64_t, D> lo = z.x0;
+    std::array<std::int64_t, D> hi = z.x1;
+    for (std::int64_t t = z.t0; t < z.t1; ++t) {
+      T* const out_level = base + mod_floor(t + home_dt_, levels) * ls;
+      std::array<T*, kMaxTaps> tap_level;
+      for (std::size_t j = 0; j < num_taps; ++j) {
+        tap_level[j] = base + mod_floor(t + taps_[j].dt, levels) * ls;
+      }
+      walk_rows(a, lo, hi, [&](std::int64_t row_off, std::int64_t lo_last,
+                               std::int64_t len) {
+        T* out = out_level + row_off + lo_last;
+        std::array<const T*, kMaxTaps> p;
+        std::array<T, kMaxTaps> coeff;
+        for (std::size_t j = 0; j < num_taps; ++j) {
+          p[j] = tap_level[j] + row_off + lo_last + tap_spatial[j];
+          coeff[j] = taps_[j].coeff;
+        }
+        row_update(out, p, coeff, num_taps, len);
+      });
+      for (int i = 0; i < D; ++i) {
+        lo[i] += z.dx0[i];
+        hi[i] += z.dx1[i];
+      }
+    }
+  }
+
+  /// Checked base case for boundary zoids: true coordinates via modulo,
+  /// off-domain reads via the array's boundary function.
+  void base_boundary(Array<T, D>& a, const Zoid<D>& z) const {
+    for_each_point(z, [&](std::int64_t t, const std::array<std::int64_t, D>& v) {
+      std::array<std::int64_t, D> idx;
+      for (int i = 0; i < D; ++i) idx[i] = mod_floor(v[i], a.extent(i));
+      T acc{};
+      for (const Tap& tap : taps_) {
+        std::array<std::int64_t, D> at;
+        for (int i = 0; i < D; ++i) at[i] = idx[i] + tap.dx[i];
+        acc += tap.coeff * a.get(t + tap.dt, at);
+      }
+      a.at(t + home_dt_, idx) = acc;
+    });
+  }
+
+ private:
+  static constexpr std::size_t kMaxTaps = 32;
+
+  /// Unit-stride row update with a compile-time tap count for the common
+  /// sizes, so the inner loop fully unrolls and vectorizes like the
+  /// hand-written pointer code of Figure 12(c).
+  template <std::size_t J>
+  static void row_update_fixed(T* __restrict out,
+                               const std::array<const T*, kMaxTaps>& p,
+                               const std::array<T, kMaxTaps>& coeff,
+                               std::int64_t len) {
+    for (std::int64_t n = 0; n < len; ++n) {
+      T acc = coeff[0] * p[0][n];
+      for (std::size_t j = 1; j < J; ++j) acc += coeff[j] * p[j][n];
+      out[n] = acc;
+    }
+  }
+
+  static void row_update(T* out, const std::array<const T*, kMaxTaps>& p,
+                         const std::array<T, kMaxTaps>& coeff,
+                         std::size_t num_taps, std::int64_t len) {
+    switch (num_taps) {
+      case 3: return row_update_fixed<3>(out, p, coeff, len);
+      case 4: return row_update_fixed<4>(out, p, coeff, len);
+      case 5: return row_update_fixed<5>(out, p, coeff, len);
+      case 6: return row_update_fixed<6>(out, p, coeff, len);
+      case 7: return row_update_fixed<7>(out, p, coeff, len);
+      case 8: return row_update_fixed<8>(out, p, coeff, len);
+      case 9: return row_update_fixed<9>(out, p, coeff, len);
+      default:
+        for (std::int64_t n = 0; n < len; ++n) {
+          T acc{};
+          for (std::size_t j = 0; j < num_taps; ++j) acc += coeff[j] * p[j][n];
+          out[n] = acc;
+        }
+    }
+  }
+
+  /// Invokes fn(row_offset, lo_last, length) for every unit-stride row of
+  /// the box [lo, hi).
+  template <typename F>
+  void walk_rows(const Array<T, D>& a, const std::array<std::int64_t, D>& lo,
+                 const std::array<std::int64_t, D>& hi, F&& fn) const {
+    const std::int64_t len = hi[D - 1] - lo[D - 1];
+    if (len <= 0) return;
+    if constexpr (D == 1) {
+      fn(0, lo[0], len);
+    } else {
+      std::array<std::int64_t, D - 1> idx;
+      for (int i = 0; i < D - 1; ++i) {
+        if (lo[i] >= hi[i]) return;  // empty box at this time step
+        idx[i] = lo[i];
+      }
+      while (true) {
+        std::int64_t row_off = 0;
+        for (int i = 0; i < D - 1; ++i) row_off += idx[i] * a.stride(i);
+        fn(row_off, lo[D - 1], len);
+        int i = D - 2;
+        for (; i >= 0; --i) {
+          if (++idx[i] < hi[i]) break;
+          idx[i] = lo[i];
+        }
+        if (i < 0) break;
+      }
+    }
+  }
+
+  std::int64_t home_dt_;
+  std::vector<Tap> taps_;
+};
+
+}  // namespace pochoir

@@ -1,0 +1,409 @@
+// The Pochoir object (§2): ties together a shape, registered arrays, and a
+// kernel, and runs the stencil computation with a chosen algorithm.
+//
+//   Shape<2> shape = {{1,0,0},{0,0,0},{0,1,0},{0,-1,0},{0,0,-1},{0,0,1}};
+//   Array<double,2> u({X, Y}, shape.depth());
+//   u.register_boundary(periodic_boundary<double,2>());
+//   Stencil<2, double> heat(shape);
+//   heat.register_arrays(u);
+//   heat.run(T, [](int64_t t, int64_t x, int64_t y, auto u) {
+//     u(t+1,x,y) = u(t,x,y) + CX*(u(t,x+1,y) - 2*u(t,x,y) + u(t,x-1,y))
+//                           + CY*(u(t,x,y+1) - 2*u(t,x,y) + u(t,x,y-1));
+//   });
+//
+// The kernel is a *generic* callable over (t, x..., views...); the facade
+// instantiates it against InteriorView and BoundaryView to obtain the two
+// clones of §4, then drives TRAP (default), STRAP, or the loop baselines.
+// run() is resumable: a second run(T') continues from step T, as in §2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <tuple>
+#include <utility>
+
+#include "core/array.hpp"
+#include "core/loops.hpp"
+#include "core/options.hpp"
+#include "core/shape.hpp"
+#include "core/strap.hpp"
+#include "core/trap.hpp"
+#include "core/views.hpp"
+#include "core/walk_context.hpp"
+#include "runtime/parallel.hpp"
+#include "support/assertion.hpp"
+
+namespace pochoir {
+
+namespace detail {
+
+template <int D, typename K, typename... Views, std::size_t... Is>
+inline void call_kernel_impl(K& kernel, std::int64_t t,
+                             const std::array<std::int64_t, D>& idx,
+                             std::index_sequence<Is...>,
+                             const Views&... views) {
+  if constexpr (std::is_invocable_v<K&, std::int64_t, decltype(idx[Is])...,
+                                    const Views&...>) {
+    kernel(t, idx[Is]..., views...);
+  } else {
+    // Phase-1 style kernel (the DSL macros of Figure 6): the kernel closes
+    // over the Pochoir arrays and accesses them through their own checked
+    // operator(); no views are passed.
+    kernel(t, idx[Is]...);
+  }
+}
+
+/// Invokes kernel(t, x0, ..., x{D-1}, views...).
+template <int D, typename K, typename... Views>
+inline void call_kernel(K& kernel, std::int64_t t,
+                        const std::array<std::int64_t, D>& idx,
+                        const Views&... views) {
+  call_kernel_impl<D>(kernel, t, idx, std::make_index_sequence<D>{}, views...);
+}
+
+}  // namespace detail
+
+template <int D, typename... Ts>
+class Stencil {
+  static_assert(sizeof...(Ts) >= 1, "a stencil needs at least one array");
+
+ public:
+  /// Creates a Pochoir object with the given computing shape; options
+  /// default to the paper's coarsening heuristics.
+  explicit Stencil(Shape<D> shape, Options<D> opts = Options<D>::heuristic())
+      : shape_(std::move(shape)), opts_(opts) {}
+
+  /// Registers the participating arrays, in the order the kernel receives
+  /// its views.  Arrays must share extents and have >= depth+1 time levels.
+  void register_arrays(Array<Ts, D>&... arrays) {
+    arrays_ = std::make_tuple(&arrays...);
+    grid_ = std::get<0>(arrays_)->extents();
+    auto check = [&](const auto& a) {
+      POCHOIR_ASSERT_MSG(a.extents() == grid_,
+                         "all registered arrays must share extents");
+      POCHOIR_ASSERT_MSG(a.time_levels() >= shape_.depth() + 1,
+                         "array has fewer time levels than the shape's depth");
+    };
+    (check(arrays), ...);
+    registered_ = true;
+  }
+
+  /// Paper-style alias for the single-array case.
+  template <typename A>
+  void Register_Array(A& a) {
+    static_assert(sizeof...(Ts) == 1);
+    register_arrays(a);
+  }
+
+  [[nodiscard]] const Shape<D>& shape() const { return shape_; }
+  [[nodiscard]] Options<D>& options() { return opts_; }
+  [[nodiscard]] const Options<D>& options() const { return opts_; }
+  [[nodiscard]] const std::array<std::int64_t, D>& grid() const { return grid_; }
+
+  /// Steps executed so far across run() calls.
+  [[nodiscard]] std::int64_t steps_done() const { return steps_done_; }
+
+  /// Time index holding the results after the steps executed so far
+  /// (T + k - 1 in §2, counting initial conditions at times 0..k-1).
+  [[nodiscard]] std::int64_t result_time() const {
+    return steps_done_ + shape_.depth() - 1;
+  }
+
+  /// Forgets execution history (e.g. after re-initializing the arrays).
+  void reset() { steps_done_ = 0; }
+
+  /// The kernel-invocation time range for the next `steps` steps; exposed
+  /// for the analysis module and tests.
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> time_range(
+      std::int64_t steps) const {
+    const std::int64_t t0 = shape_.depth() - shape_.home_dt() + steps_done_;
+    return {t0, t0 + steps};
+  }
+
+  /// Walk parameters derived from the shape, grid and current options.
+  [[nodiscard]] WalkContext<D> context() const {
+    POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
+    return WalkContext<D>::make(shape_, grid_, opts_);
+  }
+
+  // --- execution -----------------------------------------------------------
+
+  /// Runs `steps` time steps with TRAP on the work-stealing pool
+  /// (the paper's name.Run(T, kern)).
+  template <typename K>
+  void run(std::int64_t steps, K&& kernel) {
+    run_with(rt::ParallelPolicy{}, Algorithm::kTrap, steps, kernel);
+  }
+
+  /// Paper-style alias.
+  template <typename K>
+  void Run(std::int64_t steps, K&& kernel) {
+    run(steps, std::forward<K>(kernel));
+  }
+
+  /// Runs with an explicit algorithm on the work-stealing pool.
+  template <typename K>
+  void run(Algorithm alg, std::int64_t steps, K&& kernel) {
+    if (alg == Algorithm::kLoopsSerial) {
+      run_with(rt::SerialPolicy{}, alg, steps, kernel);
+    } else {
+      run_with(rt::ParallelPolicy{}, alg, steps, kernel);
+    }
+  }
+
+  /// Runs with an explicit algorithm entirely on the calling thread
+  /// (the "Pochoir 1 core" column of Figure 3).
+  template <typename K>
+  void run_serial(Algorithm alg, std::int64_t steps, K&& kernel) {
+    run_with(rt::SerialPolicy{}, alg, steps, kernel);
+  }
+
+  /// Loop baseline with every access checked (no interior clone): the §4
+  /// "modulo on every array index" ablation.
+  template <typename K>
+  void run_loops_checked_everywhere(std::int64_t steps, K&& kernel,
+                                    bool parallel = true) {
+    const auto pf = make_point_fn(kernel, boundary_factory());
+    const auto [t0, t1] = time_range(steps);
+    const WalkContext<D> ctx = context();
+    if (parallel) {
+      run_loops<D>(ctx, rt::ParallelPolicy{}, t0, t1, pf, pf,
+                   /*interior_clone=*/false);
+    } else {
+      run_loops<D>(ctx, rt::SerialPolicy{}, t0, t1, pf, pf,
+                   /*interior_clone=*/false);
+    }
+    steps_done_ += steps;
+  }
+
+  /// Serial run in which every array access is traced into `sink` (e.g. a
+  /// CacheSim) — the substrate for the Figure 10 experiments.
+  template <typename Sink, typename K>
+  void run_traced(Algorithm alg, std::int64_t steps, K&& kernel, Sink& sink) {
+    auto factory = [&sink](auto& a, std::int64_t, const auto&) {
+      return TracedView(a, sink);
+    };
+    run_with_factory(rt::SerialPolicy{}, alg, steps, kernel, factory, factory);
+  }
+
+  /// Phase-1 compliance run: every access is validated against the declared
+  /// shape; aborts with a diagnostic on violation.  Serial, checked, slow —
+  /// exactly the paper's debugging mode.
+  template <typename K>
+  void run_debug(std::int64_t steps, K&& kernel) {
+    auto factory = [this](auto& a, std::int64_t t, const auto& idx) {
+      using A = std::remove_reference_t<decltype(a)>;
+      return ShapeCheckedView<typename A::value_type, D>(a, shape_, t, idx);
+    };
+    run_with_factory(rt::SerialPolicy{}, Algorithm::kLoopsSerial, steps,
+                     kernel, factory, factory);
+  }
+
+  /// Runs `steps` steps with custom per-zoid base cases (`ib` for interior
+  /// zoids, `bb` for boundary zoids) under TRAP; used by the split-pointer
+  /// path and the compiler-generated postsource.
+  template <typename Policy, typename IB, typename BB>
+  void run_custom_base(const Policy& pol, std::int64_t steps, IB&& ib,
+                       BB&& bb) {
+    const auto [t0, t1] = time_range(steps);
+    const WalkContext<D> ctx = context();
+    run_trap(ctx, pol, t0, t1, ib, bb);
+    steps_done_ += steps;
+  }
+
+  /// Runs with explicit interior/boundary kernel clones, Phase-1 style
+  /// f(t, x...) — the entry point used by pochoirc's -split-macro-shadow
+  /// postsource, where the interior clone shadows array accesses with
+  /// unchecked ones (Figure 12(b)).
+  template <typename KI, typename KB>
+  void run_cloned(std::int64_t steps, KI&& ki, KB&& kb, bool parallel = true) {
+    POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
+    const auto [t0, t1] = time_range(steps);
+    const WalkContext<D> ctx = context();
+    const auto pi = [&ki](std::int64_t t, const std::array<std::int64_t, D>& idx) {
+      detail::call_kernel<D>(ki, t, idx);
+    };
+    const auto pb = [this, &kb](std::int64_t t,
+                                const std::array<std::int64_t, D>& idx) {
+      std::array<std::int64_t, D> true_idx;
+      for (int i = 0; i < D; ++i) {
+        true_idx[i] = mod_floor(idx[static_cast<std::size_t>(i)],
+                                grid_[static_cast<std::size_t>(i)]);
+      }
+      detail::call_kernel<D>(kb, t, true_idx);
+    };
+    auto ib = [&pi](const Zoid<D>& z) { for_each_point(z, pi); };
+    auto bb = make_boundary_base(pi, pb);
+    if (parallel) {
+      run_trap(ctx, rt::ParallelPolicy{}, t0, t1, ib, bb);
+    } else {
+      run_trap(ctx, rt::SerialPolicy{}, t0, t1, ib, bb);
+    }
+    steps_done_ += steps;
+  }
+
+  /// Runs with a custom interior *zoid* base (pointer-walking code from
+  /// pochoirc's -split-pointer mode, Figure 12(c)) and a Phase-1 style
+  /// boundary kernel for boundary zoids.
+  template <typename IB, typename KB>
+  void run_split(std::int64_t steps, IB&& interior_base, KB&& boundary_kernel,
+                 bool parallel = true) {
+    POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
+    const auto [t0, t1] = time_range(steps);
+    const WalkContext<D> ctx = context();
+    const auto pb = [this, &boundary_kernel](
+                        std::int64_t t, const std::array<std::int64_t, D>& idx) {
+      std::array<std::int64_t, D> true_idx;
+      for (int i = 0; i < D; ++i) {
+        true_idx[i] = mod_floor(idx[static_cast<std::size_t>(i)],
+                                grid_[static_cast<std::size_t>(i)]);
+      }
+      detail::call_kernel<D>(boundary_kernel, t, true_idx);
+    };
+    auto bb = [&pb](const Zoid<D>& z) { for_each_point(z, pb); };
+    if (parallel) {
+      run_trap(ctx, rt::ParallelPolicy{}, t0, t1, interior_base, bb);
+    } else {
+      run_trap(ctx, rt::SerialPolicy{}, t0, t1, interior_base, bb);
+    }
+    steps_done_ += steps;
+  }
+
+  /// Runs a tap-based linear stencil with the split-pointer base case
+  /// (Figure 12(c)); single-array stencils only.  The LinearStencil must
+  /// agree with this object's shape on home_dt and depth.
+  template <typename LS>
+  void run_linear(std::int64_t steps, const LS& lin, bool parallel = true) {
+    static_assert(sizeof...(Ts) == 1,
+                  "split-pointer base cases support one array");
+    POCHOIR_ASSERT(lin.home_dt() == shape_.home_dt());
+    auto& a = *std::get<0>(arrays_);
+    auto ib = [&](const Zoid<D>& z) { lin.base_interior(a, z); };
+    auto bb = [&](const Zoid<D>& z) { lin.base_boundary(a, z); };
+    if (parallel) {
+      run_custom_base(rt::ParallelPolicy{}, steps, ib, bb);
+    } else {
+      run_custom_base(rt::SerialPolicy{}, steps, ib, bb);
+    }
+  }
+
+ private:
+  template <typename Policy, typename K>
+  void run_with(const Policy& pol, Algorithm alg, std::int64_t steps,
+                K& kernel) {
+    run_with_factory(pol, alg, steps, kernel, interior_factory(),
+                     boundary_factory());
+  }
+
+  static auto interior_factory() {
+    return [](auto& a, std::int64_t, const auto&) { return InteriorView(a); };
+  }
+  static auto boundary_factory() {
+    return [](auto& a, std::int64_t, const auto&) { return BoundaryView(a); };
+  }
+
+  /// Boundary-zoid base case with row splitting: rows whose outer
+  /// coordinates are safely interior run the checked clone only on the
+  /// `reach`-wide flanks and the fast interior clone on the middle — the
+  /// ghost-cell trick applied inside boundary zoids.  This matters most
+  /// for the paper's >=3D heuristic, where the unit-stride dimension is
+  /// never cut and every zoid spans the full row.
+  template <typename PI, typename PB>
+  auto make_boundary_base(const PI& pi, const PB& pb) const {
+    const auto& reach = shape_.reaches();
+    const auto& grid = grid_;
+    return [&pi, &pb, &reach, &grid](const Zoid<D>& z) {
+      for_each_row<D>(z, [&](std::int64_t t, std::array<std::int64_t, D> idx,
+                             std::int64_t row_end) {
+        bool outer_safe = true;
+        for (int i = 0; i + 1 < D; ++i) {
+          if (idx[i] < reach[static_cast<std::size_t>(i)] ||
+              idx[i] >= grid[static_cast<std::size_t>(i)] -
+                            reach[static_cast<std::size_t>(i)]) {
+            outer_safe = false;
+            break;
+          }
+        }
+        const std::int64_t lo = idx[D - 1];
+        const std::int64_t n = grid[D - 1];
+        const std::int64_t r = reach[D - 1];
+        if (!outer_safe || lo < 0 || row_end > n) {
+          for (idx[D - 1] = lo; idx[D - 1] < row_end; ++idx[D - 1]) pb(t, idx);
+          return;
+        }
+        const std::int64_t safe_lo = lo > r ? lo : r;
+        const std::int64_t safe_hi = row_end < n - r ? row_end : n - r;
+        if (safe_lo >= safe_hi) {
+          for (idx[D - 1] = lo; idx[D - 1] < row_end; ++idx[D - 1]) pb(t, idx);
+          return;
+        }
+        for (idx[D - 1] = lo; idx[D - 1] < safe_lo; ++idx[D - 1]) pb(t, idx);
+        for (idx[D - 1] = safe_lo; idx[D - 1] < safe_hi; ++idx[D - 1]) pi(t, idx);
+        for (idx[D - 1] = safe_hi; idx[D - 1] < row_end; ++idx[D - 1]) pb(t, idx);
+      });
+    };
+  }
+
+  /// Builds a per-point functor f(t, idx) that calls the kernel with views
+  /// created by `factory(array, t, idx)` for each registered array.
+  template <typename K, typename Factory>
+  auto make_point_fn(K& kernel, Factory factory) {
+    return std::apply(
+        [&kernel, factory](auto*... arrs) {
+          return [&kernel, factory, arrs...](
+                     std::int64_t t, const std::array<std::int64_t, D>& idx) {
+            detail::call_kernel<D>(kernel, t, idx, factory(*arrs, t, idx)...);
+          };
+        },
+        arrays_);
+  }
+
+  template <typename Policy, typename K, typename FI, typename FB>
+  void run_with_factory(const Policy& pol, Algorithm alg, std::int64_t steps,
+                        K& kernel, FI interior_fac, FB boundary_fac) {
+    POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
+    const auto [t0, t1] = time_range(steps);
+    const WalkContext<D> ctx = context();
+    const auto pi = make_point_fn(kernel, interior_fac);
+    const auto pb_raw = make_point_fn(kernel, boundary_fac);
+    // Boundary zoids may carry virtual coordinates (seam pieces wrap past
+    // the grid edge); the kernel is always invoked with true coordinates
+    // obtained by a modulo computation (§4).
+    const auto pb = [this, &pb_raw](std::int64_t t,
+                                    const std::array<std::int64_t, D>& idx) {
+      std::array<std::int64_t, D> true_idx;
+      for (int i = 0; i < D; ++i) {
+        true_idx[i] = mod_floor(idx[static_cast<std::size_t>(i)],
+                                grid_[static_cast<std::size_t>(i)]);
+      }
+      pb_raw(t, true_idx);
+    };
+    auto ib = [&pi](const Zoid<D>& z) { for_each_point(z, pi); };
+    auto bb = make_boundary_base(pi, pb);
+    switch (alg) {
+      case Algorithm::kTrap:
+        run_trap(ctx, pol, t0, t1, ib, bb);
+        break;
+      case Algorithm::kStrap:
+        run_strap(ctx, pol, t0, t1, ib, bb);
+        break;
+      case Algorithm::kLoopsParallel:
+        run_loops<D>(ctx, pol, t0, t1, pi, pb, /*interior_clone=*/true);
+        break;
+      case Algorithm::kLoopsSerial:
+        run_loops<D>(ctx, rt::SerialPolicy{}, t0, t1, pi, pb,
+                     /*interior_clone=*/true);
+        break;
+    }
+    steps_done_ += steps;
+  }
+
+  Shape<D> shape_;
+  Options<D> opts_;
+  std::tuple<Array<Ts, D>*...> arrays_{};
+  std::array<std::int64_t, D> grid_{};
+  bool registered_ = false;
+  std::int64_t steps_done_ = 0;
+};
+
+}  // namespace pochoir

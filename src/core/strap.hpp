@@ -1,0 +1,104 @@
+// STRAP — Frigo & Strumpen's parallel trapezoidal decomposition with
+// *serial* space cuts (§3).
+//
+// STRAP applies the same trisection as TRAP but to one dimension per
+// recursion step: the two black subzoids run in parallel, with a full
+// synchronization point before (inverted) or after (upright) the gray
+// subzoid.  A sequence of k space cuts therefore costs 2k parallel steps
+// versus TRAP's k+1, which is the whole asymptotic difference analyzed in
+// Theorems 3 and 5.  Both algorithms perform identical time cuts, hence
+// identical cache behaviour.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/walk_context.hpp"
+#include "geometry/cuts.hpp"
+#include "geometry/zoid.hpp"
+#include "runtime/parallel.hpp"
+
+namespace pochoir {
+
+template <int D, typename Policy, typename InteriorBase, typename BoundaryBase>
+class StrapWalker {
+ public:
+  StrapWalker(const WalkContext<D>& ctx, const Policy& policy,
+              InteriorBase& interior_base, BoundaryBase& boundary_base)
+      : ctx_(ctx),
+        policy_(policy),
+        interior_base_(interior_base),
+        boundary_base_(boundary_base) {}
+
+  void walk(const Zoid<D>& z) {
+    if (z.height() < 1) return;
+    walk_impl(z, /*interior=*/false);
+  }
+
+ private:
+  void walk_impl(const Zoid<D>& virtual_z, bool interior) {
+    const Zoid<D> z = interior ? virtual_z : ctx_.normalize(virtual_z);
+    if (!interior) interior = ctx_.is_interior(z);
+
+    if (auto cut = plan_first_cut(z, ctx_.sigma, ctx_.dx_threshold, ctx_.grid)) {
+      const int dim = cut->first;
+      const DimCut& c = cut->second;
+      if (c.count == 2 && c.seam) {
+        // Torus seam cut: the black ring strictly precedes the seam piece.
+        walk_impl(with_piece(z, dim, c.piece[0]), interior);
+        walk_impl(with_piece(z, dim, c.piece[1]), interior);
+        return;
+      }
+      if (c.count == 2) {
+        const Zoid<D> a = with_piece(z, dim, c.piece[0]);
+        const Zoid<D> b = with_piece(z, dim, c.piece[1]);
+        policy_.invoke2([&] { walk_impl(a, interior); },
+                        [&] { walk_impl(b, interior); });
+        return;
+      }
+      const Zoid<D> black1 = with_piece(z, dim, c.piece[0]);
+      const Zoid<D> gray = with_piece(z, dim, c.piece[1]);
+      const Zoid<D> black3 = with_piece(z, dim, c.piece[2]);
+      if (c.upright) {
+        policy_.invoke2([&] { walk_impl(black1, interior); },
+                        [&] { walk_impl(black3, interior); });
+        walk_impl(gray, interior);
+      } else {
+        walk_impl(gray, interior);
+        policy_.invoke2([&] { walk_impl(black1, interior); },
+                        [&] { walk_impl(black3, interior); });
+      }
+      return;
+    }
+
+    if (z.height() > ctx_.dt_threshold) {
+      const auto halves = time_cut(z);
+      walk_impl(halves.first, interior);
+      walk_impl(halves.second, interior);
+      return;
+    }
+
+    if (interior) {
+      interior_base_(z);
+    } else {
+      boundary_base_(z);
+    }
+  }
+
+  const WalkContext<D>& ctx_;
+  const Policy& policy_;
+  InteriorBase& interior_base_;
+  BoundaryBase& boundary_base_;
+};
+
+/// Convenience runner: walks the full space-time box [t0, t1) x grid.
+template <int D, typename Policy, typename InteriorBase, typename BoundaryBase>
+void run_strap(const WalkContext<D>& ctx, const Policy& policy,
+               std::int64_t t0, std::int64_t t1, InteriorBase&& interior_base,
+               BoundaryBase&& boundary_base) {
+  StrapWalker<D, Policy, std::decay_t<InteriorBase>, std::decay_t<BoundaryBase>>
+      walker(ctx, policy, interior_base, boundary_base);
+  walker.walk(Zoid<D>::box(t0, t1, ctx.grid));
+}
+
+}  // namespace pochoir

@@ -1,0 +1,97 @@
+// TRAP — Pochoir's cache-oblivious parallel algorithm (Figure 2, §3).
+//
+// The walker recursively decomposes a zoid:
+//   1. Hyperspace cut: apply a parallel space cut to *every* dimension that
+//      admits one, all at once.  The 3^k subzoids fall into k+1 dependency
+//      levels (Lemma 1); levels run in order, zoids within a level in
+//      parallel.
+//   2. Time cut: if no space cut applies and the height exceeds the
+//      coarsening threshold, halve the time dimension; lower before upper.
+//   3. Base case: hand the zoid to the interior or boundary base-case
+//      functor (the two kernel clones of §4).
+//
+// The walker is policy-parameterized (serial vs work-stealing parallel) and
+// base-case-parameterized, so the same control structure serves real
+// execution, pointer-optimized base cases, and traced simulation.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/walk_context.hpp"
+#include "geometry/cuts.hpp"
+#include "geometry/zoid.hpp"
+#include "runtime/parallel.hpp"
+
+namespace pochoir {
+
+template <int D, typename Policy, typename InteriorBase, typename BoundaryBase>
+class TrapWalker {
+ public:
+  TrapWalker(const WalkContext<D>& ctx, const Policy& policy,
+             InteriorBase& interior_base, BoundaryBase& boundary_base)
+      : ctx_(ctx),
+        policy_(policy),
+        interior_base_(interior_base),
+        boundary_base_(boundary_base) {}
+
+  /// Processes every grid point of `z` in dependency order.
+  void walk(const Zoid<D>& z) {
+    if (z.height() < 1) return;
+    walk_impl(z, /*interior=*/false);
+  }
+
+ private:
+  void walk_impl(const Zoid<D>& virtual_z, bool interior) {
+    const Zoid<D> z = interior ? virtual_z : ctx_.normalize(virtual_z);
+    if (!interior) interior = ctx_.is_interior(z);
+
+    const HyperCut<D> plan =
+        plan_hyperspace_cut(z, ctx_.sigma, ctx_.dx_threshold, ctx_.grid);
+    if (!plan.empty()) {
+      auto levels = collect_subzoids_by_level(z, plan);
+      for (const auto& bucket : levels) {
+        if (bucket.size() == 1) {
+          walk_impl(bucket.front(), interior);
+        } else {
+          policy_.for_all(static_cast<std::int64_t>(bucket.size()),
+                          [&](std::int64_t i) {
+                            walk_impl(bucket[static_cast<std::size_t>(i)],
+                                      interior);
+                          });
+        }
+      }
+      return;
+    }
+
+    if (z.height() > ctx_.dt_threshold) {
+      const auto halves = time_cut(z);
+      walk_impl(halves.first, interior);
+      walk_impl(halves.second, interior);
+      return;
+    }
+
+    if (interior) {
+      interior_base_(z);
+    } else {
+      boundary_base_(z);
+    }
+  }
+
+  const WalkContext<D>& ctx_;
+  const Policy& policy_;
+  InteriorBase& interior_base_;
+  BoundaryBase& boundary_base_;
+};
+
+/// Convenience runner: walks the full space-time box [t0, t1) x grid.
+template <int D, typename Policy, typename InteriorBase, typename BoundaryBase>
+void run_trap(const WalkContext<D>& ctx, const Policy& policy,
+              std::int64_t t0, std::int64_t t1, InteriorBase&& interior_base,
+              BoundaryBase&& boundary_base) {
+  TrapWalker<D, Policy, std::decay_t<InteriorBase>, std::decay_t<BoundaryBase>>
+      walker(ctx, policy, interior_base, boundary_base);
+  walker.walk(Zoid<D>::box(t0, t1, ctx.grid));
+}
+
+}  // namespace pochoir

@@ -1,0 +1,74 @@
+// Shared walk parameters for TRAP/STRAP: stencil slopes, halo reach, grid
+// extents (for the interior/boundary zoid test) and coarsening thresholds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/options.hpp"
+#include "core/shape.hpp"
+#include "geometry/zoid.hpp"
+
+namespace pochoir {
+
+template <int D>
+struct WalkContext {
+  std::array<std::int64_t, D> sigma{};
+  std::array<std::int64_t, D> reach{};
+  std::array<std::int64_t, D> grid{};
+  std::int64_t dt_threshold = 1;
+  std::array<std::int64_t, D> dx_threshold{};
+
+  static WalkContext make(const Shape<D>& shape,
+                          const std::array<std::int64_t, D>& grid,
+                          const Options<D>& opts) {
+    WalkContext ctx;
+    // The walking slope must respect anti-dependencies as well as data
+    // dependencies: with depth k >= 2, the write at invocation t reuses the
+    // circular time level holding grid time t-k, which readers at
+    // invocation t-1 may still need at spatial distance up to reach_i
+    // (sigma_i only bounds offset/span).  Using reach_i as the cut slope is
+    // safe for both directions; for depth-1 stencils (every benchmark in
+    // the paper) reach_i == sigma_i, so nothing changes there.
+    ctx.sigma = shape.reaches();
+    ctx.reach = shape.reaches();
+    ctx.grid = grid;
+    ctx.dt_threshold = opts.dt_threshold < 1 ? 1 : opts.dt_threshold;
+    ctx.dx_threshold = opts.dx_threshold;
+    for (auto& th : ctx.dx_threshold) {
+      if (th < 1) th = 1;
+    }
+    return ctx;
+  }
+
+  /// Shifts any dimension whose entire span lies at or beyond the seam back
+  /// by the period (virtual -> true coordinates, §4).  Subzoids of a seam
+  /// triangle stop crossing the seam after further cuts; normalizing them
+  /// re-engages the interior fast path.
+  [[nodiscard]] Zoid<D> normalize(Zoid<D> z) const {
+    for (int i = 0; i < D; ++i) {
+      const std::int64_t n = grid[static_cast<std::size_t>(i)];
+      while (z.min_lo(i) >= n) {
+        z.x0[i] -= n;
+        z.x1[i] -= n;
+      }
+    }
+    return z;
+  }
+
+  /// A zoid is *interior* when every access made while processing it stays
+  /// inside the grid; interior zoids run the fast unchecked clone, and all
+  /// subzoids of an interior zoid remain interior (§4, code cloning).
+  [[nodiscard]] bool is_interior(const Zoid<D>& z) const {
+    for (int i = 0; i < D; ++i) {
+      if (z.min_lo(i) - reach[static_cast<std::size_t>(i)] < 0) return false;
+      if (z.max_hi(i) + reach[static_cast<std::size_t>(i)] >
+          grid[static_cast<std::size_t>(i)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace pochoir

@@ -1,0 +1,122 @@
+// Structured parallelism on top of the scheduler: the cilk_spawn / cilk_for
+// equivalents used by the stencil algorithms.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "runtime/scheduler.hpp"
+
+namespace pochoir::rt {
+
+/// Run two callables potentially in parallel; returns when both finish.
+template <typename F0, typename F1>
+void parallel_invoke(F0&& f0, F1&& f1) {
+  TaskGroup group;
+  group.spawn(std::forward<F1>(f1));
+  f0();
+  group.wait();
+}
+
+/// Run three callables potentially in parallel.
+template <typename F0, typename F1, typename F2>
+void parallel_invoke(F0&& f0, F1&& f1, F2&& f2) {
+  TaskGroup group;
+  group.spawn(std::forward<F1>(f1));
+  group.spawn(std::forward<F2>(f2));
+  f0();
+  group.wait();
+}
+
+namespace detail {
+
+template <typename Body>
+void parallel_for_split(std::int64_t lo, std::int64_t hi, std::int64_t grain,
+                        const Body& body, TaskGroup& group) {
+  while (hi - lo > grain) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    group.spawn([mid, hi, grain, &body, &group] {
+      parallel_for_split(mid, hi, grain, body, group);
+    });
+    hi = mid;
+  }
+  for (std::int64_t i = lo; i < hi; ++i) body(i);
+}
+
+}  // namespace detail
+
+/// Parallel loop over [lo, hi) with recursive binary splitting (span
+/// Θ(lg n) like cilk_for).  `grain` is the maximum serial chunk; pass 0 to
+/// auto-select ~8 chunks per worker.
+template <typename Body>
+void parallel_for(std::int64_t lo, std::int64_t hi, std::int64_t grain,
+                  const Body& body) {
+  if (hi <= lo) return;
+  const std::int64_t n = hi - lo;
+  if (grain <= 0) {
+    const std::int64_t workers = Scheduler::instance().num_threads();
+    grain = n / (8 * workers);
+    if (grain < 1) grain = 1;
+  }
+  if (n <= grain) {
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+    return;
+  }
+  TaskGroup group;
+  detail::parallel_for_split(lo, hi, grain, body, group);
+  group.wait();
+}
+
+/// Parallel loop with grain 1 over a small index range (used for the
+/// subzoid groups of a hyperspace cut, which are individually large).
+template <typename Body>
+void parallel_for_each_index(std::int64_t n, const Body& body) {
+  parallel_for(0, n, 1, body);
+}
+
+/// Execution policy running everything serially (used for 1-core baselines
+/// and for deterministic instrumented runs).
+struct SerialPolicy {
+  static constexpr bool is_parallel = false;
+
+  template <typename F0, typename F1>
+  void invoke2(F0&& f0, F1&& f1) const {
+    f0();
+    f1();
+  }
+
+  template <typename Body>
+  void for_all(std::int64_t n, const Body& body) const {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+  }
+
+  template <typename Body>
+  void for_range(std::int64_t lo, std::int64_t hi, std::int64_t /*grain*/,
+                 const Body& body) const {
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+  }
+};
+
+/// Execution policy using the work-stealing pool.
+struct ParallelPolicy {
+  static constexpr bool is_parallel = true;
+
+  template <typename F0, typename F1>
+  void invoke2(F0&& f0, F1&& f1) const {
+    parallel_invoke(std::forward<F0>(f0), std::forward<F1>(f1));
+  }
+
+  template <typename Body>
+  void for_all(std::int64_t n, const Body& body) const {
+    parallel_for_each_index(n, body);
+  }
+
+  template <typename Body>
+  void for_range(std::int64_t lo, std::int64_t hi, std::int64_t grain,
+                 const Body& body) const {
+    parallel_for(lo, hi, grain, body);
+  }
+};
+
+}  // namespace pochoir::rt

@@ -1,0 +1,160 @@
+// Fork–join work-stealing scheduler: the Cilk Plus substrate of the paper.
+//
+// The paper's algorithms are expressed with spawn/sync (cilk_spawn) and
+// parallel loops (cilk_for).  This module provides the same programming
+// model: a TaskGroup supports spawn() + wait() fork-join regions, and
+// parallel.hpp layers parallel_invoke / parallel_for on top.
+//
+// Architecture: one worker thread per core (configurable), each owning a
+// Chase–Lev deque.  Owners push/pop LIFO for locality; idle workers steal
+// FIFO from victims chosen round-robin.  Threads not registered with the
+// pool (e.g. the program main thread) submit through a shared injection
+// queue and help execute while waiting, so fork-join calls work from any
+// thread without deadlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/task_deque.hpp"
+#include "support/assertion.hpp"
+
+namespace pochoir::rt {
+
+class TaskGroup;
+
+/// Type-erased unit of work.  Tasks are heap-allocated at spawn and deleted
+/// by whichever thread executes them.
+class Task {
+ public:
+  explicit Task(TaskGroup* group) : group_(group) {}
+  virtual ~Task() = default;
+  /// Runs the payload, notifies the owning group, and deletes this.
+  void run_and_release();
+
+ protected:
+  virtual void invoke() = 0;
+
+ private:
+  TaskGroup* group_;
+};
+
+namespace detail {
+
+#if defined(__GNUC__) && !defined(__clang__)
+// Force full inlining of the task payload.  The payload is typically a deep
+// chain of closures (loop splitter -> slab body -> point function -> user
+// kernel -> views); without flattening, the inliner's budget runs out
+// inside this cold-looking virtual function and the innermost stencil loop
+// is left scalar, costing ~5-10x on memory-streaming kernels.
+#define POCHOIR_FLATTEN [[gnu::flatten]]
+#else
+#define POCHOIR_FLATTEN
+#endif
+
+template <typename F>
+class TaskImpl final : public Task {
+ public:
+  TaskImpl(TaskGroup* group, F&& f) : Task(group), f_(std::move(f)) {}
+
+ protected:
+  POCHOIR_FLATTEN void invoke() override { f_(); }
+
+ private:
+  F f_;
+};
+}  // namespace detail
+
+/// Global work-stealing thread pool.  Created lazily on first use.
+class Scheduler {
+ public:
+  /// The process-wide scheduler instance.
+  static Scheduler& instance();
+
+  /// Overrides the worker count for schedulers created after this call.
+  /// Must be called before first use of instance(); returns false otherwise.
+  static bool set_num_threads(int n);
+
+  /// Number of worker threads (>= 1).
+  [[nodiscard]] int num_threads() const { return num_workers_; }
+
+  /// Enqueue a task: locally if the caller is a worker, otherwise injected.
+  void submit(Task* task);
+
+  /// Try to acquire one runnable task from anywhere (own deque, steals,
+  /// injection queue).  Returns nullptr if nothing was found right now.
+  Task* try_acquire();
+
+  /// Wake workers that may be parked; called after submitting work.
+  void notify();
+
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+ private:
+  friend class TaskGroup;
+
+  struct WorkerSlot {
+    TaskDeque deque;
+    std::uint64_t steal_seed = 0;
+  };
+
+  explicit Scheduler(int num_workers);
+  void worker_main(int index);
+  Task* try_steal(std::uint64_t& seed);
+  Task* pop_injected();
+
+  int num_workers_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> threads_;
+
+  std::mutex inject_mutex_;
+  std::vector<Task*> injected_;
+  std::atomic<std::int64_t> injected_count_{0};
+
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<int> sleepers_{0};
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<bool> shutting_down_{false};
+
+  static std::atomic<int> requested_threads_;
+};
+
+/// Fork–join region: spawn() forks tasks, wait() joins them while helping
+/// execute pending work (the caller never blocks idly while work exists).
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  ~TaskGroup() { POCHOIR_ASSERT(pending_.load() == 0); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Fork `f` to run asynchronously within this group.
+  template <typename F>
+  void spawn(F&& f) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    auto* task = new detail::TaskImpl<std::decay_t<F>>(this, std::forward<F>(f));
+    Scheduler::instance().submit(task);
+  }
+
+  /// Join: executes pending work until every spawned task has finished.
+  void wait();
+
+  /// Called by Task on completion.
+  void finish_one() { pending_.fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<std::int64_t> pending_{0};
+};
+
+}  // namespace pochoir::rt

@@ -1,0 +1,111 @@
+// American put option pricing by explicit finite differences — the paper's
+// APOP benchmark.
+//
+// The Black–Scholes PDE is discretized on a log-price grid (constant
+// coefficients, so the explicit scheme is stable for sigma^2 dt <= dxi^2),
+// marching backward from expiry.  Early exercise makes the update
+// non-linear:  v_{t+1}(x) = max(payoff(x), a v_t(x-1) + b v_t(x) + c v_t(x+1)).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/shape.hpp"
+
+namespace pochoir::stencils {
+
+struct ApopParams {
+  double strike = 100.0;
+  double spot_center = 100.0;  ///< price at the grid midpoint
+  double rate = 0.05;
+  double sigma = 0.2;
+  double maturity = 1.0;
+  std::int64_t grid = 2048;    ///< number of log-price nodes
+  std::int64_t steps = 4096;   ///< time steps to expiry (CFL-stable default)
+  double log_halfwidth = 4.0;  ///< grid spans +- this many log units
+
+  [[nodiscard]] double dxi() const {
+    return 2 * log_halfwidth / static_cast<double>(grid);
+  }
+  [[nodiscard]] double dt() const {
+    return maturity / static_cast<double>(steps);
+  }
+  /// Stock price at node x.
+  [[nodiscard]] double price(std::int64_t x) const {
+    const double xi = (static_cast<double>(x) -
+                       static_cast<double>(grid) / 2.0) * dxi();
+    return spot_center * std::exp(xi);
+  }
+  /// Put payoff at node x.
+  [[nodiscard]] double payoff(std::int64_t x) const {
+    const double p = strike - price(x);
+    return p > 0 ? p : 0;
+  }
+  /// True when the explicit scheme is stable (CFL-type condition).
+  [[nodiscard]] bool stable() const {
+    return dt() * (sigma * sigma / (dxi() * dxi()) + rate) < 1.0;
+  }
+};
+
+inline Shape<1> apop_shape() {
+  return Shape<1>{{1, 0}, {0, -1}, {0, 0}, {0, 1}};
+}
+
+/// Backward-induction kernel with early exercise.
+inline auto apop_kernel(const ApopParams& p) {
+  const double dxi = p.dxi();
+  const double dt = p.dt();
+  const double drift = p.rate - 0.5 * p.sigma * p.sigma;
+  const double diff = 0.5 * p.sigma * p.sigma * dt / (dxi * dxi);
+  const double adv = 0.5 * drift * dt / dxi;
+  const double a = diff - adv;
+  const double b = 1.0 - 2.0 * diff - p.rate * dt;
+  const double c = diff + adv;
+  return [a, b, c, p](std::int64_t t, std::int64_t x, auto v) {
+    const double cont = a * v(t, x - 1) + b * v(t, x) + c * v(t, x + 1);
+    const double exercise = p.payoff(x);
+    v(t + 1, x) = cont > exercise ? cont : exercise;
+  };
+}
+
+/// Boundary: deep in-the-money on the left (immediate exercise), worthless
+/// far out-of-the-money on the right.
+template <typename ArrayT>
+void apop_register_boundary(ArrayT& v, const ApopParams& p) {
+  v.register_boundary([p](const auto&, std::int64_t,
+                          const std::array<std::int64_t, 1>& idx) -> double {
+    return idx[0] < 0 ? p.payoff(idx[0]) : 0.0;
+  });
+}
+
+/// Serial reference implementation for validation.
+inline std::vector<double> apop_reference(const ApopParams& p) {
+  const std::size_t n = static_cast<std::size_t>(p.grid);
+  std::vector<double> cur(n), next(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    cur[x] = p.payoff(static_cast<std::int64_t>(x));
+  }
+  const double dxi = p.dxi();
+  const double dt = p.dt();
+  const double drift = p.rate - 0.5 * p.sigma * p.sigma;
+  const double diff = 0.5 * p.sigma * p.sigma * dt / (dxi * dxi);
+  const double adv = 0.5 * drift * dt / dxi;
+  const double a = diff - adv;
+  const double b = 1.0 - 2.0 * diff - p.rate * dt;
+  const double c = diff + adv;
+  for (std::int64_t t = 0; t < p.steps; ++t) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const double left =
+          x == 0 ? p.payoff(-1) : cur[x - 1];
+      const double right = x + 1 == n ? 0.0 : cur[x + 1];
+      const double cont = a * left + b * cur[x] + c * right;
+      const double exercise = p.payoff(static_cast<std::int64_t>(x));
+      next[x] = cont > exercise ? cont : exercise;
+    }
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+}  // namespace pochoir::stencils

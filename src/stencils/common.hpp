@@ -1,0 +1,50 @@
+// Shared helpers for the benchmark stencil kernels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/array.hpp"
+#include "support/rng.hpp"
+
+namespace pochoir::stencils {
+
+/// Fills time level `t` with deterministic pseudo-random values in [lo, hi).
+template <int D>
+void fill_random(Array<double, D>& a, std::int64_t t, double lo, double hi,
+                 std::uint64_t seed = 42) {
+  Rng rng(seed);
+  a.fill_time(t, [&](const std::array<std::int64_t, D>&) {
+    return rng.uniform(lo, hi);
+  });
+}
+
+/// Deterministic checksum of one time level (order-independent sum).
+template <typename T, int D>
+double checksum(const Array<T, D>& a, std::int64_t t) {
+  double sum = 0;
+  std::array<std::int64_t, D> idx{};
+  const auto& n = a.extents();
+  while (true) {
+    sum += static_cast<double>(a.at(t, idx));
+    int i = D - 1;
+    for (; i >= 0; --i) {
+      if (++idx[static_cast<std::size_t>(i)] < n[static_cast<std::size_t>(i)]) break;
+      idx[static_cast<std::size_t>(i)] = 0;
+    }
+    if (i < 0) break;
+  }
+  return sum;
+}
+
+/// Random base string over alphabet {0..alphabet-1} for the DP benchmarks.
+inline std::vector<int> random_sequence(std::int64_t length, int alphabet,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> s(static_cast<std::size_t>(length));
+  for (auto& c : s) c = static_cast<int>(rng.next_below(alphabet));
+  return s;
+}
+
+}  // namespace pochoir::stencils

@@ -1,0 +1,126 @@
+// Lattice Boltzmann method, D3Q19 BGK — the paper's LBM benchmark.
+//
+// The paper calls LBM "a complex stencil having many states": every grid
+// point carries 19 distribution values, and one time step streams each
+// distribution from the upwind neighbor and relaxes toward the local
+// equilibrium (BGK collision).  The cell is a struct, so this kernel
+// exercises the read()/write() view interface rather than expression
+// proxies.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/shape.hpp"
+
+namespace pochoir::stencils {
+
+/// D3Q19 discrete velocity set; direction 0 is rest.
+inline constexpr int lbm_q = 19;
+inline constexpr std::array<std::array<int, 3>, lbm_q> lbm_e = {{
+    {0, 0, 0},  {1, 0, 0},   {-1, 0, 0}, {0, 1, 0},  {0, -1, 0},
+    {0, 0, 1},  {0, 0, -1},  {1, 1, 0},  {-1, -1, 0}, {1, -1, 0},
+    {-1, 1, 0}, {1, 0, 1},   {-1, 0, -1}, {1, 0, -1}, {-1, 0, 1},
+    {0, 1, 1},  {0, -1, -1}, {0, 1, -1}, {0, -1, 1},
+}};
+
+inline constexpr std::array<double, lbm_q> lbm_w = {
+    1.0 / 3,  1.0 / 18, 1.0 / 18, 1.0 / 18, 1.0 / 18, 1.0 / 18, 1.0 / 18,
+    1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36,
+    1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36};
+
+/// One lattice site: 19 distribution values.
+struct LbmCell {
+  std::array<double, lbm_q> f{};
+
+  /// Local density (zeroth moment).
+  [[nodiscard]] double density() const {
+    double rho = 0;
+    for (double v : f) rho += v;
+    return rho;
+  }
+};
+
+/// Shape: home at dt=+1; one dt=0 cell per upwind direction (-e_i).
+inline Shape<3> lbm_shape() {
+  std::vector<ShapeCell<3>> cells;
+  cells.push_back({1, {0, 0, 0}});
+  for (int q = 0; q < lbm_q; ++q) {
+    cells.push_back({0,
+                     {-lbm_e[static_cast<std::size_t>(q)][0],
+                      -lbm_e[static_cast<std::size_t>(q)][1],
+                      -lbm_e[static_cast<std::size_t>(q)][2]}});
+  }
+  return Shape<3>(std::move(cells));
+}
+
+/// Equilibrium distribution for (rho, u).
+inline double lbm_feq(int q, double rho, const std::array<double, 3>& u) {
+  const auto& e = lbm_e[static_cast<std::size_t>(q)];
+  const double eu = e[0] * u[0] + e[1] * u[1] + e[2] * u[2];
+  const double uu = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+  return lbm_w[static_cast<std::size_t>(q)] * rho *
+         (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * uu);
+}
+
+/// Stream + BGK collide with relaxation time `tau`.
+inline auto lbm_kernel(double tau) {
+  const double omega = 1.0 / tau;
+  return [omega](std::int64_t t, std::int64_t x, std::int64_t y,
+                 std::int64_t z, auto grid) {
+    // Stream: distribution q arrives from the upwind neighbor.
+    std::array<double, lbm_q> f;
+    for (int q = 0; q < lbm_q; ++q) {
+      const auto& e = lbm_e[static_cast<std::size_t>(q)];
+      const LbmCell up = grid.read(t, x - e[0], y - e[1], z - e[2]);
+      f[static_cast<std::size_t>(q)] = up.f[static_cast<std::size_t>(q)];
+    }
+    // Moments.
+    double rho = 0;
+    std::array<double, 3> mom{};
+    for (int q = 0; q < lbm_q; ++q) {
+      const double v = f[static_cast<std::size_t>(q)];
+      rho += v;
+      const auto& e = lbm_e[static_cast<std::size_t>(q)];
+      mom[0] += v * e[0];
+      mom[1] += v * e[1];
+      mom[2] += v * e[2];
+    }
+    std::array<double, 3> vel{};
+    if (rho > 0) {
+      vel = {mom[0] / rho, mom[1] / rho, mom[2] / rho};
+    }
+    // Collide.
+    LbmCell out;
+    for (int q = 0; q < lbm_q; ++q) {
+      const double feq = lbm_feq(q, rho, vel);
+      out.f[static_cast<std::size_t>(q)] =
+          f[static_cast<std::size_t>(q)] +
+          omega * (feq - f[static_cast<std::size_t>(q)]);
+    }
+    grid.write(t + 1, x, y, z, out);
+  };
+}
+
+/// Initializes level `t` to equilibrium at unit density with a smooth shear
+/// velocity perturbation (a standard LBM benchmark initial condition).
+template <typename ArrayT>
+void lbm_init(ArrayT& a, std::int64_t t) {
+  const double pi = 3.14159265358979323846;
+  const auto nx = static_cast<double>(a.extent(0));
+  const auto ny = static_cast<double>(a.extent(1));
+  a.fill_time(t, [&](const std::array<std::int64_t, 3>& idx) {
+    const std::array<double, 3> vel = {
+        0.05 * std::sin(2 * pi * static_cast<double>(idx[1]) / ny),
+        0.02 * std::sin(2 * pi * static_cast<double>(idx[0]) / nx), 0.0};
+    LbmCell cell;
+    for (int q = 0; q < lbm_q; ++q) {
+      cell.f[static_cast<std::size_t>(q)] = lbm_feq(q, 1.0, vel);
+    }
+    return cell;
+  });
+}
+
+}  // namespace pochoir::stencils

@@ -1,0 +1,78 @@
+// Longest common subsequence as a 1D stencil — the paper's LCS benchmark.
+//
+// The classic DP  L[i][j] = (a_i == b_j) ? L[i-1][j-1]+1
+//                                        : max(L[i-1][j], L[i][j-1])
+// is mapped onto space-time with t = i + j (the antidiagonal) and x = i:
+//
+//   L[i][j]     -> cell (t,   x)
+//   L[i-1][j]   -> cell (t-1, x-1)
+//   L[i][j-1]   -> cell (t-1, x)
+//   L[i-1][j-1] -> cell (t-2, x-1)
+//
+// a depth-2, slope-1 one-dimensional stencil.  Cells outside the DP domain
+// (j = t - x out of range) are kept at 0, which is also the correct DP
+// border value, so the kernel's only branches are the DP cases themselves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shape.hpp"
+
+namespace pochoir::stencils {
+
+using LcsCell = std::int32_t;
+
+inline Shape<1> lcs_shape() {
+  return Shape<1>{{2, 0}, {1, -1}, {1, 0}, {0, -1}};
+}
+
+/// `a` indexes rows (x = i in [0, a.size()]), `b` columns.  The stencil is
+/// invoked at time t writing antidiagonal i + j = t - 1 (home dt realigns),
+/// with x = i.  Entries use 1-based DP indexing; x=0 and j=0 are borders.
+inline auto lcs_kernel(std::vector<int> a, std::vector<int> b) {
+  return [a = std::move(a), b = std::move(b)](std::int64_t t, std::int64_t x,
+                                              auto grid) {
+    // Writing home cell at (t + 2, x): antidiagonal index d = t + 2,
+    // i = x, j = d - i.
+    const std::int64_t i = x;
+    const std::int64_t j = (t + 2) - i;
+    const auto rows = static_cast<std::int64_t>(a.size());
+    const auto cols = static_cast<std::int64_t>(b.size());
+    LcsCell value = 0;
+    if (i >= 1 && i <= rows && j >= 1 && j <= cols) {
+      if (a[static_cast<std::size_t>(i - 1)] ==
+          b[static_cast<std::size_t>(j - 1)]) {
+        value = static_cast<LcsCell>(grid(t, x - 1)) + 1;  // L[i-1][j-1]
+      } else {
+        const LcsCell up = grid(t + 1, x - 1);   // L[i-1][j]
+        const LcsCell left = grid(t + 1, x);     // L[i][j-1]
+        value = up > left ? up : left;
+      }
+    }
+    grid(t + 2, x) = value;
+  };
+}
+
+/// Reference DP for validation.
+inline LcsCell lcs_reference(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  const std::size_t rows = a.size();
+  const std::size_t cols = b.size();
+  std::vector<LcsCell> prev(cols + 1, 0);
+  std::vector<LcsCell> cur(cols + 1, 0);
+  for (std::size_t i = 1; i <= rows; ++i) {
+    cur[0] = 0;
+    for (std::size_t j = 1; j <= cols; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = prev[j] > cur[j - 1] ? prev[j] : cur[j - 1];
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[cols];
+}
+
+}  // namespace pochoir::stencils

@@ -1,0 +1,46 @@
+// Conway's Game of Life — the paper's Life 2p benchmark (periodic torus).
+//
+// Life is a non-linear stencil (the update is a table lookup on the
+// neighbor count), so it exercises the generic-kernel path rather than the
+// split-pointer path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shape.hpp"
+
+namespace pochoir::stencils {
+
+/// Cell state: 0 dead, 1 alive.
+using LifeCell = std::int32_t;
+
+/// Depth-1 shape covering the 3x3 Moore neighborhood.
+inline Shape<2> life_shape() {
+  std::vector<ShapeCell<2>> cells;
+  cells.push_back({1, {0, 0}});
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      cells.push_back({0, {dx, dy}});
+    }
+  }
+  return Shape<2>(std::move(cells));
+}
+
+/// B3/S23 update rule.
+inline auto life_kernel() {
+  return [](std::int64_t t, std::int64_t x, std::int64_t y, auto u) {
+    int neighbors = 0;
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        if (dx == 0 && dy == 0) continue;
+        neighbors += static_cast<LifeCell>(u(t, x + dx, y + dy));
+      }
+    }
+    const LifeCell alive = u(t, x, y);
+    u(t + 1, x, y) =
+        (neighbors == 3 || (alive != 0 && neighbors == 2)) ? 1 : 0;
+  };
+}
+
+}  // namespace pochoir::stencils

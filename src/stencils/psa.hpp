@@ -1,0 +1,147 @@
+// Pairwise sequence alignment (Gotoh affine-gap DP) as a 1D stencil — the
+// paper's PSA benchmark.
+//
+// Needleman–Wunsch/Gotoh recurrences over a 2D DP table are mapped onto
+// space-time by t = i + j (antidiagonal) and x = i, giving a depth-2,
+// slope-1 1D stencil over struct cells {M, Ix, Iy}.  The DP domain is the
+// diamond (0 <= i <= |a|, 0 <= j <= |b|), so — as the paper notes — the
+// kernel carries many conditional branches distinguishing interior from
+// exterior points, which is what limits PSA's speedup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shape.hpp"
+
+namespace pochoir::stencils {
+
+/// Alignment state: best score ending in match (m), gap in b (ix: a_i
+/// aligned to gap), gap in a (iy).  Values use a large-negative sentinel.
+struct PsaCell {
+  std::int32_t m = 0;
+  std::int32_t ix = 0;
+  std::int32_t iy = 0;
+};
+
+inline constexpr std::int32_t psa_neg_inf = -(1 << 28);
+
+/// Scoring parameters (match/mismatch plus affine gaps).
+struct PsaParams {
+  std::int32_t match = 2;
+  std::int32_t mismatch = -1;
+  std::int32_t gap_open = 3;    // subtracted when a gap starts
+  std::int32_t gap_extend = 1;  // subtracted per extension
+};
+
+inline Shape<1> psa_shape() {
+  return Shape<1>{{2, 0}, {1, -1}, {1, 0}, {0, -1}};
+}
+
+/// Kernel invoked at time t writes antidiagonal i + j = t + 2 at x = i.
+inline auto psa_kernel(std::vector<int> a, std::vector<int> b,
+                       PsaParams p = {}) {
+  return [a = std::move(a), b = std::move(b), p](std::int64_t t,
+                                                 std::int64_t x, auto grid) {
+    const std::int64_t i = x;
+    const std::int64_t j = (t + 2) - i;
+    const auto rows = static_cast<std::int64_t>(a.size());
+    const auto cols = static_cast<std::int64_t>(b.size());
+    PsaCell out{psa_neg_inf, psa_neg_inf, psa_neg_inf};
+    if (i >= 0 && i <= rows && j >= 0 && j <= cols) {
+      if (i == 0 && j == 0) {
+        out.m = 0;
+      } else if (j == 0) {
+        out.ix = static_cast<std::int32_t>(-p.gap_open -
+                                           (i - 1) * p.gap_extend);
+      } else if (i == 0) {
+        out.iy = static_cast<std::int32_t>(-p.gap_open -
+                                           (j - 1) * p.gap_extend);
+      } else {
+        const PsaCell diag = grid.read(t, x - 1);      // (i-1, j-1)
+        const PsaCell up = grid.read(t + 1, x - 1);    // (i-1, j)
+        const PsaCell left = grid.read(t + 1, x);      // (i,   j-1)
+        const std::int32_t sub = a[static_cast<std::size_t>(i - 1)] ==
+                                         b[static_cast<std::size_t>(j - 1)]
+                                     ? p.match
+                                     : p.mismatch;
+        std::int32_t best = diag.m;
+        if (diag.ix > best) best = diag.ix;
+        if (diag.iy > best) best = diag.iy;
+        out.m = best <= psa_neg_inf ? psa_neg_inf : best + sub;
+        const std::int32_t open_x = up.m <= psa_neg_inf
+                                        ? psa_neg_inf
+                                        : up.m - p.gap_open;
+        const std::int32_t ext_x = up.ix <= psa_neg_inf
+                                       ? psa_neg_inf
+                                       : up.ix - p.gap_extend;
+        out.ix = open_x > ext_x ? open_x : ext_x;
+        const std::int32_t open_y = left.m <= psa_neg_inf
+                                        ? psa_neg_inf
+                                        : left.m - p.gap_open;
+        const std::int32_t ext_y = left.iy <= psa_neg_inf
+                                       ? psa_neg_inf
+                                       : left.iy - p.gap_extend;
+        out.iy = open_y > ext_y ? open_y : ext_y;
+      }
+    }
+    grid.write(t + 2, x, out);
+  };
+}
+
+/// Best global alignment score from a finished cell.
+inline std::int32_t psa_score(const PsaCell& c) {
+  std::int32_t best = c.m;
+  if (c.ix > best) best = c.ix;
+  if (c.iy > best) best = c.iy;
+  return best;
+}
+
+/// Reference Gotoh DP (row-sweep) for validation.
+inline std::int32_t psa_reference(const std::vector<int>& a,
+                                  const std::vector<int>& b,
+                                  PsaParams p = {}) {
+  const std::size_t rows = a.size();
+  const std::size_t cols = b.size();
+  std::vector<PsaCell> prev(cols + 1), cur(cols + 1);
+  prev[0] = {0, psa_neg_inf, psa_neg_inf};
+  for (std::size_t j = 1; j <= cols; ++j) {
+    prev[j] = {psa_neg_inf, psa_neg_inf,
+               static_cast<std::int32_t>(-p.gap_open -
+                                         (static_cast<std::int64_t>(j) - 1) *
+                                             p.gap_extend)};
+  }
+  for (std::size_t i = 1; i <= rows; ++i) {
+    cur[0] = {psa_neg_inf,
+              static_cast<std::int32_t>(-p.gap_open -
+                                        (static_cast<std::int64_t>(i) - 1) *
+                                            p.gap_extend),
+              psa_neg_inf};
+    for (std::size_t j = 1; j <= cols; ++j) {
+      const std::int32_t sub = a[i - 1] == b[j - 1] ? p.match : p.mismatch;
+      std::int32_t best = prev[j - 1].m;
+      if (prev[j - 1].ix > best) best = prev[j - 1].ix;
+      if (prev[j - 1].iy > best) best = prev[j - 1].iy;
+      PsaCell c;
+      c.m = best <= psa_neg_inf ? psa_neg_inf : best + sub;
+      const std::int32_t ox = prev[j].m <= psa_neg_inf ? psa_neg_inf
+                                                       : prev[j].m - p.gap_open;
+      const std::int32_t ex = prev[j].ix <= psa_neg_inf
+                                  ? psa_neg_inf
+                                  : prev[j].ix - p.gap_extend;
+      c.ix = ox > ex ? ox : ex;
+      const std::int32_t oy = cur[j - 1].m <= psa_neg_inf
+                                  ? psa_neg_inf
+                                  : cur[j - 1].m - p.gap_open;
+      const std::int32_t ey = cur[j - 1].iy <= psa_neg_inf
+                                  ? psa_neg_inf
+                                  : cur[j - 1].iy - p.gap_extend;
+      c.iy = oy > ey ? oy : ey;
+      cur[j] = c;
+    }
+    std::swap(prev, cur);
+  }
+  return psa_score(prev[cols]);
+}
+
+}  // namespace pochoir::stencils

@@ -1,0 +1,43 @@
+// Lightweight assertion macros used throughout the library.
+//
+// POCHOIR_ASSERT is active in all build types for cheap invariants that guard
+// algorithmic correctness (zoid well-definedness, index ranges on slow
+// paths).  POCHOIR_DEBUG_ASSERT compiles away unless POCHOIR_DEBUG_CHECKS is
+// defined and is used on hot paths (per-point accessor checks).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pochoir::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "pochoir: assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace pochoir::detail
+
+#define POCHOIR_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::pochoir::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                     \
+  } while (0)
+
+#define POCHOIR_ASSERT_MSG(expr, msg)                                 \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::pochoir::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+    }                                                                 \
+  } while (0)
+
+#if defined(POCHOIR_DEBUG_CHECKS)
+#define POCHOIR_DEBUG_ASSERT(expr) POCHOIR_ASSERT(expr)
+#else
+#define POCHOIR_DEBUG_ASSERT(expr) \
+  do {                             \
+  } while (0)
+#endif

@@ -1,0 +1,55 @@
+// Small integer helpers shared by the geometry and core modules.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace pochoir {
+
+/// Ceiling division for nonnegative numerator, positive denominator.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Floor division that is correct for negative numerators as well.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// Mathematical (always nonnegative) modulus, the `mod` of Figure 6 of the
+/// paper: mod(-1, 10) == 9.
+constexpr std::int64_t mod_floor(std::int64_t a, std::int64_t b) {
+  std::int64_t r = a % b;
+  return r < 0 ? r + b : r;
+}
+
+/// Floor of log base 2; ilog2(1) == 0.  Undefined for x <= 0.
+constexpr int ilog2(std::int64_t x) {
+  int lg = -1;
+  while (x > 0) {
+    x >>= 1;
+    ++lg;
+  }
+  return lg;
+}
+
+/// Integer power, used for the 3^k subzoid counts of a hyperspace cut.
+constexpr std::int64_t ipow(std::int64_t base, int exp) {
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+/// True if x is a power of two (x > 0).
+constexpr bool is_pow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::int64_t next_pow2(std::int64_t x) {
+  std::int64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace pochoir

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random generation for workload initialization.
+//
+// Benchmarks and tests must be reproducible across runs and machines, so we
+// use a fixed, fully specified generator (splitmix64 seeding a
+// xoshiro256**) rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace pochoir {
+
+/// splitmix64: used to expand a user seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — small, fast, high-quality PRNG (public-domain algorithm).
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b9u) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Next 64 random bits.
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n); n must be positive.
+  constexpr std::int64_t next_below(std::int64_t n) {
+    return static_cast<std::int64_t>(next_u64() % static_cast<std::uint64_t>(n));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace pochoir

@@ -1,0 +1,59 @@
+// Plain-text table printer used by the benchmark harnesses to emit the
+// paper's tables and figure series in a uniform, diffable format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pochoir {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Append one row; missing cells render empty, extra cells are kept.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Render to stdout with a separator under the header.
+  void print() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      if (row.size() > width.size()) width.resize(row.size(), 0);
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : empty_;
+        std::printf("%-*s%s", static_cast<int>(width[i]), cell.c_str(),
+                    i + 1 < width.size() ? "  " : "\n");
+      }
+    };
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    std::printf("%s\n", std::string(total > 2 ? total - 2 : 0, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string empty_;
+};
+
+/// printf-style helper returning std::string, for building table cells.
+template <typename... Args>
+std::string strf(const char* fmt, Args... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return std::string(buf);
+}
+
+}  // namespace pochoir

@@ -1,0 +1,37 @@
+// Wall-clock timing used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace pochoir {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Times a callable and returns elapsed seconds.
+template <typename F>
+double timed_seconds(F&& f) {
+  Timer t;
+  f();
+  return t.seconds();
+}
+
+}  // namespace pochoir

@@ -1,0 +1,47 @@
+// Phase-1 Pochoir source used by the end-to-end compiler test.
+//
+// This program compiles and runs against the template library as-is
+// (Phase 1), and is also fed through pochoirc; the Pochoir Guarantee says
+// the postsource must compile and produce the same results (Phase 2).
+#include <pochoir/dsl.hpp>
+
+#include <cstdio>
+
+#define mod(r, m) ((r) % (m) + ((r) % (m) < 0 ? (m) : 0))
+
+Pochoir_Boundary_2D(heat_bv, a, t, x, y)
+  return a.get(t, mod(x, a.size(1)), mod(y, a.size(0)));
+Pochoir_Boundary_End
+
+int main() {
+  const int X = 80, Y = 60, T = 30;
+  const double CX = 0.11, CY = 0.09;
+  Pochoir_Shape_2D heat_shape[] = {{1, 0, 0}, {0, 0, 0}, {0, 1, 0},
+                                   {0, -1, 0}, {0, 0, -1}, {0, 0, 1}};
+  Pochoir_2D heat(heat_shape);
+  Pochoir_Array_2D(double) u(X, Y);
+  u.Register_Boundary(heat_bv);
+  heat.Register_Array(u);
+  Pochoir_Kernel_2D(heat_fn, t, x, y)
+    u(t + 1, x, y) = CX * (u(t, x + 1, y) - 2 * u(t, x, y) + u(t, x - 1, y))
+                   + CY * (u(t, x, y + 1) - 2 * u(t, x, y) + u(t, x, y - 1))
+                   + u(t, x, y);
+  Pochoir_Kernel_End
+  for (int x = 0; x < X; ++x) {
+    for (int y = 0; y < Y; ++y) {
+      u(0, x, y) = 0.001 * ((x * 37 + y * 17) % 101) - 0.02 * ((x + y) % 7);
+    }
+  }
+  heat.Run(T, heat_fn);
+  double sum = 0;
+  for (int x = 0; x < X; ++x) {
+    for (int y = 0; y < Y; ++y) {
+      sum += u(T, x, y);
+    }
+  }
+  std::printf("checksum %.17g\n", sum);
+  std::printf("probe %.17g %.17g %.17g\n", static_cast<double>(u(T, 0, 0)),
+              static_cast<double>(u(T, X / 2, Y / 2)),
+              static_cast<double>(u(T, X - 1, Y - 1)));
+  return 0;
+}

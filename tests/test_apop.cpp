@@ -1,0 +1,94 @@
+// American put option pricing: financial sanity + algorithm equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stencil.hpp"
+#include "stencils/apop.hpp"
+
+namespace pochoir {
+namespace {
+
+stencils::ApopParams small_params() {
+  stencils::ApopParams p;
+  p.grid = 512;
+  p.steps = 1024;
+  p.log_halfwidth = 2.0;
+  return p;
+}
+
+TEST(Apop, SchemeIsStable) { EXPECT_TRUE(small_params().stable()); }
+
+std::vector<double> run_apop(const stencils::ApopParams& p, Algorithm alg) {
+  Array<double, 1> v({p.grid}, 1);
+  stencils::apop_register_boundary(v, p);
+  v.fill_time(0, [&](const std::array<std::int64_t, 1>& i) {
+    return p.payoff(i[0]);
+  });
+  Stencil<1, double> st(stencils::apop_shape());
+  st.register_arrays(v);
+  st.run(alg, p.steps, stencils::apop_kernel(p));
+  std::vector<double> out(static_cast<std::size_t>(p.grid));
+  for (std::int64_t x = 0; x < p.grid; ++x) {
+    out[static_cast<std::size_t>(x)] = v.interior(st.result_time(), x);
+  }
+  return out;
+}
+
+TEST(Apop, MatchesSerialReference) {
+  const auto p = small_params();
+  const auto want = stencils::apop_reference(p);
+  const auto got = run_apop(p, Algorithm::kTrap);
+  for (std::int64_t x = 0; x < p.grid; ++x) {
+    ASSERT_NEAR(got[static_cast<std::size_t>(x)],
+                want[static_cast<std::size_t>(x)], 1e-12)
+        << "node " << x;
+  }
+}
+
+TEST(Apop, StrapAndLoopsAgree) {
+  const auto p = small_params();
+  const auto a = run_apop(p, Algorithm::kStrap);
+  const auto b = run_apop(p, Algorithm::kLoopsSerial);
+  for (std::size_t x = 0; x < a.size(); ++x) ASSERT_EQ(a[x], b[x]);
+}
+
+TEST(Apop, ValueDominatesPayoff) {
+  // An American option is always worth at least immediate exercise.
+  const auto p = small_params();
+  const auto v = run_apop(p, Algorithm::kTrap);
+  for (std::int64_t x = 0; x < p.grid; ++x) {
+    ASSERT_GE(v[static_cast<std::size_t>(x)] + 1e-12, p.payoff(x));
+  }
+}
+
+TEST(Apop, ValueDecreasesInSpot) {
+  // Put value is non-increasing in the stock price.
+  const auto p = small_params();
+  const auto v = run_apop(p, Algorithm::kTrap);
+  for (std::size_t x = 1; x < v.size(); ++x) {
+    ASSERT_LE(v[x], v[x - 1] + 1e-9);
+  }
+}
+
+TEST(Apop, AmericanWorthAtLeastLongerDatedIntrinsic) {
+  // More time to expiry cannot reduce the American option's value.
+  auto p_short = small_params();
+  p_short.steps = 512;
+  p_short.maturity = 0.5;
+  const auto v_short = run_apop(p_short, Algorithm::kTrap);
+  const auto v_long = run_apop(small_params(), Algorithm::kTrap);
+  // Compare near the money (the interesting region).
+  const std::size_t mid = static_cast<std::size_t>(small_params().grid / 2);
+  EXPECT_GE(v_long[mid] + 1e-9, v_short[mid]);
+}
+
+TEST(Apop, DeepItmEqualsIntrinsic) {
+  // Far in the money, early exercise is optimal: value == payoff.
+  const auto p = small_params();
+  const auto v = run_apop(p, Algorithm::kTrap);
+  EXPECT_NEAR(v[5], p.payoff(5), 1e-9);
+}
+
+}  // namespace
+}  // namespace pochoir

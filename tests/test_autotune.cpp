@@ -1,0 +1,63 @@
+// Tests for the ISAT-style coarsening autotuner (§4).
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "stencils/heat.hpp"
+#include "support/timer.hpp"
+
+namespace pochoir {
+namespace {
+
+TEST(Autotune, PicksTheCheapestCandidate) {
+  // Synthetic cost: pretend dt=4, dx=64 is the optimum.
+  auto fake_cost = [](const Options<2>& o) {
+    const double dt_err = static_cast<double>((o.dt_threshold - 4) *
+                                              (o.dt_threshold - 4));
+    const double dx_err = static_cast<double>((o.dx_threshold[0] - 64) *
+                                              (o.dx_threshold[0] - 64));
+    return 1.0 + dt_err + dx_err;
+  };
+  const auto result = autotune_coarsening<2>(
+      fake_cost, {1, 2, 4, 8}, {16, 64, 256}, /*protect_unit_stride=*/false);
+  EXPECT_EQ(result.best.dt_threshold, 4);
+  EXPECT_EQ(result.best.dx_threshold[0], 64);
+  EXPECT_EQ(result.samples.size(), 12u);
+  EXPECT_DOUBLE_EQ(result.best_seconds, 1.0);
+}
+
+TEST(Autotune, ProtectsUnitStrideWhenAsked) {
+  auto fake_cost = [](const Options<3>&) { return 1.0; };
+  const auto result =
+      autotune_coarsening<3>(fake_cost, {2}, {4}, /*protect_unit_stride=*/true);
+  EXPECT_EQ(result.best.dx_threshold[0], 4);
+  EXPECT_EQ(result.best.dx_threshold[2], Options<3>::kNeverCut);
+}
+
+TEST(Autotune, EndToEndOnRealStencil) {
+  // Tune a small 2D heat run; whatever wins, the tuned options must still
+  // compute correct results and beat-or-match the worst candidate.
+  const std::int64_t n = 128, steps = 16;
+  auto trial = [&](const Options<2>& opts) {
+    Array<double, 2> u({n, n}, 1);
+    u.register_boundary(periodic_boundary<double, 2>());
+    u.fill_time(0, [](const auto& i) {
+      return 0.01 * static_cast<double>((i[0] + i[1]) % 7);
+    });
+    Stencil<2, double> st(stencils::heat_shape<2>(), opts);
+    st.register_arrays(u);
+    Timer timer;
+    st.run(steps, stencils::heat_kernel_2d({0.1, 0.1}));
+    return timer.seconds();
+  };
+  const auto result = autotune_coarsening<2>(trial, {1, 8}, {2, 64},
+                                             /*protect_unit_stride=*/false);
+  ASSERT_EQ(result.samples.size(), 4u);
+  double worst = 0;
+  for (const auto& s : result.samples) worst = std::max(worst, s.seconds);
+  EXPECT_LE(result.best_seconds, worst);
+}
+
+}  // namespace
+}  // namespace pochoir

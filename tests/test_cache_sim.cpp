@@ -1,0 +1,106 @@
+// Tests for the ideal-cache (fully associative LRU) simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/cache_sim.hpp"
+
+namespace pochoir {
+namespace {
+
+TEST(CacheSim, ColdMissesThenHits) {
+  CacheSim sim(1024, 64);  // 16 lines
+  std::vector<char> mem(512);
+  sim.touch(mem.data(), 1);
+  EXPECT_EQ(sim.references(), 1u);
+  EXPECT_EQ(sim.misses(), 1u);
+  sim.touch(mem.data() + 1, 1);  // same line
+  EXPECT_EQ(sim.references(), 2u);
+  EXPECT_EQ(sim.misses(), 1u);
+}
+
+TEST(CacheSim, StraddlingAccessTouchesTwoLines) {
+  CacheSim sim(1024, 64);
+  alignas(64) char mem[256];
+  sim.touch(mem + 60, 8);  // crosses a line boundary
+  EXPECT_EQ(sim.references(), 2u);
+  EXPECT_EQ(sim.misses(), 2u);
+}
+
+TEST(CacheSim, LruEviction) {
+  CacheSim sim(4 * 64, 64);  // 4 lines
+  alignas(64) char mem[64 * 8];
+  for (int i = 0; i < 5; ++i) sim.touch(mem + 64 * i, 1);  // fills + evicts line 0
+  EXPECT_EQ(sim.misses(), 5u);
+  sim.touch(mem + 64 * 4, 1);  // most recent: hit
+  EXPECT_EQ(sim.misses(), 5u);
+  sim.touch(mem + 64 * 0, 1);  // was evicted: miss again
+  EXPECT_EQ(sim.misses(), 6u);
+}
+
+TEST(CacheSim, LruKeepsHotLine) {
+  CacheSim sim(2 * 64, 64);  // 2 lines
+  alignas(64) char mem[64 * 4];
+  sim.touch(mem + 0, 1);     // A miss
+  sim.touch(mem + 64, 1);    // B miss
+  sim.touch(mem + 0, 1);     // A hit (now MRU)
+  sim.touch(mem + 128, 1);   // C miss, evicts B
+  sim.touch(mem + 0, 1);     // A still resident
+  EXPECT_EQ(sim.misses(), 3u);
+  sim.touch(mem + 64, 1);    // B was evicted
+  EXPECT_EQ(sim.misses(), 4u);
+}
+
+TEST(CacheSim, MissRatioBounds) {
+  CacheSim sim(1024, 64);
+  EXPECT_EQ(sim.miss_ratio(), 0.0);
+  alignas(64) char mem[64];
+  sim.touch(mem, 1);
+  sim.touch(mem, 1);
+  EXPECT_DOUBLE_EQ(sim.miss_ratio(), 0.5);
+}
+
+TEST(CacheSim, ResetClearsState) {
+  CacheSim sim(1024, 64);
+  alignas(64) char mem[64];
+  sim.touch(mem, 1);
+  sim.reset();
+  EXPECT_EQ(sim.references(), 0u);
+  EXPECT_EQ(sim.misses(), 0u);
+  sim.touch(mem, 1);
+  EXPECT_EQ(sim.misses(), 1u);  // cold again after reset
+}
+
+TEST(CacheSim, SequentialScanMissRatioIsOnePerLine) {
+  // Scanning a large array of doubles: one miss per 8 doubles (64B lines).
+  CacheSim sim(32 * 1024, 64);
+  std::vector<double> data(1 << 16);
+  for (double& v : data) sim.touch(&v, sizeof(double));
+  EXPECT_NEAR(sim.miss_ratio(), 1.0 / 8.0, 1e-3);
+}
+
+TEST(CacheSim, RepeatedScanOfResidentSetHitsAfterWarmup) {
+  CacheSim sim(64 * 1024, 64);
+  std::vector<double> data(1024);  // 8KB: fits
+  for (double& v : data) sim.touch(&v, sizeof(double));
+  const auto cold_misses = sim.misses();
+  for (int round = 0; round < 9; ++round) {
+    for (double& v : data) sim.touch(&v, sizeof(double));
+  }
+  EXPECT_EQ(sim.misses(), cold_misses);  // fully resident
+}
+
+TEST(CacheHierarchy, LevelsTrackIndependently) {
+  CacheHierarchy h({CacheSim(2 * 64, 64), CacheSim(64 * 64, 64)});
+  alignas(64) char mem[64 * 8];
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 8; ++i) h.touch(mem + 64 * i, 1);
+  }
+  // L1 (2 lines) thrashes: every access misses; L2 (64 lines) holds all 8.
+  EXPECT_EQ(h.level(0).misses(), 16u);
+  EXPECT_EQ(h.level(1).misses(), 8u);
+  EXPECT_EQ(h.level(0).references(), h.level(1).references());
+}
+
+}  // namespace
+}  // namespace pochoir

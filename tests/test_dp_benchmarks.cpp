@@ -1,0 +1,129 @@
+// LCS and PSA: the dynamic-programming-as-stencil benchmarks.  The stencil
+// execution (any algorithm, any schedule) must reproduce the classic
+// row-sweep DP exactly.
+#include <gtest/gtest.h>
+
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "stencils/common.hpp"
+#include "stencils/lcs.hpp"
+#include "stencils/psa.hpp"
+
+namespace pochoir {
+namespace {
+
+using stencils::LcsCell;
+using stencils::PsaCell;
+
+LcsCell run_lcs_stencil(const std::vector<int>& a, const std::vector<int>& b,
+                        Algorithm alg) {
+  const auto rows = static_cast<std::int64_t>(a.size());
+  const auto cols = static_cast<std::int64_t>(b.size());
+  Array<LcsCell, 1> grid({rows + 1}, 2);
+  grid.register_boundary(zero_boundary<LcsCell, 1>());
+  grid.fill_time(0, [](const auto&) { return 0; });
+  grid.fill_time(1, [](const auto&) { return 0; });
+  Stencil<1, LcsCell> st(stencils::lcs_shape());
+  st.register_arrays(grid);
+  st.run(alg, rows + cols - 1, stencils::lcs_kernel(a, b));
+  return grid.interior(rows + cols, rows);
+}
+
+TEST(Lcs, TinyKnownAnswer) {
+  // LCS("ABCBDAB", "BDCABA") = 4 (e.g. "BCBA"), with A=0,B=1,C=2,D=3.
+  const std::vector<int> a = {0, 1, 2, 1, 3, 0, 1};
+  const std::vector<int> b = {1, 3, 2, 0, 1, 0};
+  EXPECT_EQ(stencils::lcs_reference(a, b), 4);
+  EXPECT_EQ(run_lcs_stencil(a, b, Algorithm::kTrap), 4);
+}
+
+TEST(Lcs, IdenticalAndDisjointSequences) {
+  const std::vector<int> s = {1, 2, 3, 4, 5};
+  EXPECT_EQ(run_lcs_stencil(s, s, Algorithm::kTrap), 5);
+  const std::vector<int> t = {6, 7, 8, 9, 10};
+  EXPECT_EQ(run_lcs_stencil(s, t, Algorithm::kTrap), 0);
+}
+
+TEST(Lcs, RandomSequencesMatchReferenceAllAlgorithms) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto a = stencils::random_sequence(120, 4, seed);
+    const auto b = stencils::random_sequence(140, 4, seed + 100);
+    const LcsCell want = stencils::lcs_reference(a, b);
+    EXPECT_EQ(run_lcs_stencil(a, b, Algorithm::kTrap), want);
+    EXPECT_EQ(run_lcs_stencil(a, b, Algorithm::kStrap), want);
+    EXPECT_EQ(run_lcs_stencil(a, b, Algorithm::kLoopsSerial), want);
+  }
+}
+
+TEST(Lcs, UnequalLengths) {
+  const auto a = stencils::random_sequence(37, 3, 9);
+  const auto b = stencils::random_sequence(211, 3, 10);
+  EXPECT_EQ(run_lcs_stencil(a, b, Algorithm::kTrap),
+            stencils::lcs_reference(a, b));
+}
+
+std::int32_t run_psa_stencil(const std::vector<int>& a,
+                             const std::vector<int>& b, Algorithm alg) {
+  const auto rows = static_cast<std::int64_t>(a.size());
+  const auto cols = static_cast<std::int64_t>(b.size());
+  Array<PsaCell, 1> grid({rows + 1}, 2);
+  grid.register_boundary(dirichlet_boundary<PsaCell, 1>(
+      {stencils::psa_neg_inf, stencils::psa_neg_inf, stencils::psa_neg_inf}));
+  const PsaCell border{stencils::psa_neg_inf, stencils::psa_neg_inf,
+                       stencils::psa_neg_inf};
+  grid.fill_time(0, [&](const std::array<std::int64_t, 1>& i) {
+    return i[0] == 0 ? PsaCell{0, stencils::psa_neg_inf, stencils::psa_neg_inf}
+                     : border;
+  });
+  grid.fill_time(1, [&](const std::array<std::int64_t, 1>& i) {
+    // Antidiagonal 1: (0,1) and (1,0) — the first gap cells.
+    if (i[0] == 0) {
+      return PsaCell{stencils::psa_neg_inf, stencils::psa_neg_inf, -3};
+    }
+    if (i[0] == 1) {
+      return PsaCell{stencils::psa_neg_inf, -3, stencils::psa_neg_inf};
+    }
+    return border;
+  });
+  Stencil<1, PsaCell> st(stencils::psa_shape());
+  st.register_arrays(grid);
+  st.run(alg, rows + cols - 1, stencils::psa_kernel(a, b));
+  return stencils::psa_score(grid.interior(rows + cols, rows));
+}
+
+TEST(Psa, IdenticalSequencesScoreAllMatches) {
+  const std::vector<int> s = {0, 1, 2, 3, 0, 1, 2, 3};
+  EXPECT_EQ(stencils::psa_reference(s, s), 2 * 8);
+  EXPECT_EQ(run_psa_stencil(s, s, Algorithm::kTrap), 16);
+}
+
+TEST(Psa, GapPenaltyKnownCase) {
+  // a = XY, b = X: best is match X (+2) then gap-open for Y: 2 - 3 = -1.
+  const std::vector<int> a = {0, 1};
+  const std::vector<int> b = {0};
+  EXPECT_EQ(stencils::psa_reference(a, b), -1);
+  EXPECT_EQ(run_psa_stencil(a, b, Algorithm::kTrap), -1);
+}
+
+TEST(Psa, RandomSequencesMatchReference) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto a = stencils::random_sequence(90, 4, seed);
+    const auto b = stencils::random_sequence(110, 4, seed + 50);
+    const std::int32_t want = stencils::psa_reference(a, b);
+    EXPECT_EQ(run_psa_stencil(a, b, Algorithm::kTrap), want);
+    EXPECT_EQ(run_psa_stencil(a, b, Algorithm::kStrap), want);
+    EXPECT_EQ(run_psa_stencil(a, b, Algorithm::kLoopsParallel), want);
+  }
+}
+
+TEST(Psa, AffineGapPreferredOverRepeatedOpens) {
+  // One long gap must beat two short ones under affine scoring.
+  // a aligns to b with a 3-symbol insertion.
+  const std::vector<int> a = {0, 1, 2, 3, 0, 1};
+  const std::vector<int> b = {0, 1, 0, 1};
+  const std::int32_t want = stencils::psa_reference(a, b);
+  EXPECT_EQ(run_psa_stencil(a, b, Algorithm::kTrap), want);
+}
+
+}  // namespace
+}  // namespace pochoir

@@ -1,0 +1,121 @@
+// Tests for the Figure 6 DSL veneer (Phase-1 macro syntax).
+#include <pochoir/dsl.hpp>
+#include <pochoir/pochoir.hpp>
+
+#include <gtest/gtest.h>
+
+#define mod(r, m) ((r) % (m) + ((r) % (m) < 0 ? (m) : 0))
+
+Pochoir_Boundary_2D(dsl_periodic_bv, a, t, x, y)
+  return a.get(t, mod(x, a.size(1)), mod(y, a.size(0)));
+Pochoir_Boundary_End
+
+Pochoir_Boundary_2D(dsl_dirichlet_bv, a, t, x, y)
+  return 100.0 + 0.2 * static_cast<double>(t);  // Figure 11(a)
+Pochoir_Boundary_End
+
+Pochoir_Boundary_1D(dsl_neumann_bv, a, t, x)
+  std::int64_t newx = x;
+  if (newx < 0) newx = 0;
+  if (newx >= a.size(0)) newx = a.size(0) - 1;
+  return a.get(t, newx);
+Pochoir_Boundary_End
+
+namespace {
+
+TEST(Dsl, Figure6ProgramRuns) {
+  const int X = 40, Y = 40, T = 20;
+  const double CX = 0.1, CY = 0.1;
+  Pochoir_Shape_2D shape[] = {{1, 0, 0}, {0, 0, 0}, {0, 1, 0},
+                              {0, -1, 0}, {0, 0, -1}, {0, 0, 1}};
+  Pochoir_2D heat(shape);
+  Pochoir_Array_2D(double) u(X, Y);
+  u.Register_Boundary(dsl_periodic_bv);
+  heat.Register_Array(u);
+  Pochoir_Kernel_2D(heat_fn, t, x, y)
+    u(t + 1, x, y) = CX * (u(t, x + 1, y) - 2 * u(t, x, y) + u(t, x - 1, y)) +
+                     CY * (u(t, x, y + 1) - 2 * u(t, x, y) + u(t, x, y - 1)) +
+                     u(t, x, y);
+  Pochoir_Kernel_End
+  double before = 0;
+  for (int x = 0; x < X; ++x) {
+    for (int y = 0; y < Y; ++y) {
+      u(0, x, y) = 0.01 * (x * 13 + y * 7 % 19);
+      before += 0.01 * (x * 13 + y * 7 % 19);
+    }
+  }
+  heat.Run(T, heat_fn);
+  double after = 0;
+  for (int x = 0; x < X; ++x) {
+    for (int y = 0; y < Y; ++y) after += u(T, x, y);
+  }
+  EXPECT_NEAR(after, before, 1e-7 * before);  // conservative on the torus
+}
+
+TEST(Dsl, Phase1MatchesViewsApi) {
+  // The DSL (Phase-1, checked accesses) and the views API (cloned) must
+  // produce bit-identical results.
+  const int n = 32, steps = 12;
+  const double c = 0.15;
+
+  Pochoir_Shape_2D shape[] = {{1, 0, 0}, {0, 0, 0}, {0, 1, 0},
+                              {0, -1, 0}, {0, 0, -1}, {0, 0, 1}};
+  Pochoir_2D st1(shape);
+  Pochoir_Array_2D(double) u1(n, n);
+  u1.Register_Boundary(dsl_periodic_bv);
+  st1.Register_Array(u1);
+  Pochoir_Kernel_2D(kern1, t, x, y)
+    u1(t + 1, x, y) = u1(t, x, y) +
+                      c * (u1(t, x + 1, y) - 2 * u1(t, x, y) + u1(t, x - 1, y)) +
+                      c * (u1(t, x, y + 1) - 2 * u1(t, x, y) + u1(t, x, y - 1));
+  Pochoir_Kernel_End
+
+  pochoir::Array<double, 2> u2({n, n}, 1);
+  u2.register_boundary(pochoir::periodic_boundary<double, 2>());
+  pochoir::Stencil<2, double> st2(
+      pochoir::Shape<2>{{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, -1, 0},
+                        {0, 0, -1}, {0, 0, 1}});
+  st2.register_arrays(u2);
+
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      const double v = 0.02 * ((x * 31 + y * 3) % 23);
+      u1(0, x, y) = v;
+      u2.interior(0, x, y) = v;
+    }
+  }
+  st1.Run(steps, kern1);
+  st2.run(steps, [c](std::int64_t t, std::int64_t x, std::int64_t y, auto u) {
+    u(t + 1, x, y) = u(t, x, y) +
+                     c * (u(t, x + 1, y) - 2 * u(t, x, y) + u(t, x - 1, y)) +
+                     c * (u(t, x, y + 1) - 2 * u(t, x, y) + u(t, x, y - 1));
+  });
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      ASSERT_EQ(static_cast<double>(u1(steps, x, y)),
+                u2.interior(steps, x, y));
+    }
+  }
+}
+
+TEST(Dsl, DirichletBoundaryMacro) {
+  Pochoir_Array_2D(double) u(4, 4);
+  u.Register_Boundary(dsl_dirichlet_bv);
+  EXPECT_EQ(u.get(0, std::int64_t{-1}, std::int64_t{0}), 100.0);
+  EXPECT_EQ(u.get(10, std::int64_t{4}, std::int64_t{0}), 102.0);
+}
+
+TEST(Dsl, NeumannBoundaryMacro1D) {
+  Pochoir_Array_1D(double) u(5);
+  u.Register_Boundary(dsl_neumann_bv);
+  for (int x = 0; x < 5; ++x) u(0, x) = x * 1.0;
+  EXPECT_EQ(u.get(0, std::int64_t{-3}), 0.0);
+  EXPECT_EQ(u.get(0, std::int64_t{7}), 4.0);
+}
+
+TEST(Dsl, ArrayDepthTemplateParameter) {
+  Pochoir_Array_1D(double, 2) u(8);
+  EXPECT_EQ(u.time_levels(), 3);
+}
+
+}  // namespace

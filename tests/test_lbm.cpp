@@ -1,0 +1,151 @@
+// Lattice Boltzmann (D3Q19): conservation laws and algorithm equivalence
+// for the paper's many-state struct-cell benchmark.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "stencils/lbm.hpp"
+
+namespace pochoir {
+namespace {
+
+using stencils::LbmCell;
+
+TEST(Lbm, VelocitySetIsBalanced) {
+  // Velocities sum to zero; weights sum to one.
+  int sum[3] = {0, 0, 0};
+  double wsum = 0;
+  for (int q = 0; q < stencils::lbm_q; ++q) {
+    for (int d = 0; d < 3; ++d) sum[d] += stencils::lbm_e[static_cast<std::size_t>(q)][d];
+    wsum += stencils::lbm_w[static_cast<std::size_t>(q)];
+  }
+  EXPECT_EQ(sum[0], 0);
+  EXPECT_EQ(sum[1], 0);
+  EXPECT_EQ(sum[2], 0);
+  EXPECT_NEAR(wsum, 1.0, 1e-15);
+}
+
+TEST(Lbm, EquilibriumMomentsMatch) {
+  const std::array<double, 3> vel = {0.05, -0.02, 0.01};
+  double rho = 0;
+  std::array<double, 3> mom{};
+  for (int q = 0; q < stencils::lbm_q; ++q) {
+    const double f = stencils::lbm_feq(q, 1.2, vel);
+    rho += f;
+    for (int d = 0; d < 3; ++d) {
+      mom[static_cast<std::size_t>(d)] +=
+          f * stencils::lbm_e[static_cast<std::size_t>(q)][static_cast<std::size_t>(d)];
+    }
+  }
+  EXPECT_NEAR(rho, 1.2, 1e-12);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NEAR(mom[static_cast<std::size_t>(d)],
+                1.2 * vel[static_cast<std::size_t>(d)], 1e-12);
+  }
+}
+
+TEST(Lbm, MassAndMomentumConservedOnTorus) {
+  const std::array<std::int64_t, 3> ext = {12, 12, 8};
+  Array<LbmCell, 3> grid(ext, 1);
+  grid.register_boundary(periodic_boundary<LbmCell, 3>());
+  stencils::lbm_init(grid, 0);
+  auto totals = [&](std::int64_t t) {
+    double mass = 0;
+    std::array<double, 3> mom{};
+    for (std::int64_t x = 0; x < ext[0]; ++x) {
+      for (std::int64_t y = 0; y < ext[1]; ++y) {
+        for (std::int64_t z = 0; z < ext[2]; ++z) {
+          const LbmCell& c = grid.at(t, {x, y, z});
+          for (int q = 0; q < stencils::lbm_q; ++q) {
+            const double f = c.f[static_cast<std::size_t>(q)];
+            mass += f;
+            for (int d = 0; d < 3; ++d) {
+              mom[static_cast<std::size_t>(d)] +=
+                  f * stencils::lbm_e[static_cast<std::size_t>(q)][static_cast<std::size_t>(d)];
+            }
+          }
+        }
+      }
+    }
+    return std::make_pair(mass, mom);
+  };
+  const auto [mass0, mom0] = totals(0);
+  Stencil<3, LbmCell> st(stencils::lbm_shape());
+  st.register_arrays(grid);
+  st.run(12, stencils::lbm_kernel(0.8));
+  const auto [mass1, mom1] = totals(st.result_time());
+  EXPECT_NEAR(mass1, mass0, 1e-9 * std::abs(mass0));
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NEAR(mom1[static_cast<std::size_t>(d)],
+                mom0[static_cast<std::size_t>(d)], 1e-9 * std::abs(mass0));
+  }
+}
+
+TEST(Lbm, TrapMatchesLoops) {
+  const std::array<std::int64_t, 3> ext = {10, 8, 6};
+  auto make = [&] {
+    Array<LbmCell, 3> g(ext, 1);
+    g.register_boundary(periodic_boundary<LbmCell, 3>());
+    stencils::lbm_init(g, 0);
+    return g;
+  };
+  auto g1 = make();
+  auto g2 = make();
+  Options<3> opts;
+  opts.dt_threshold = 2;
+  opts.dx_threshold = {2, 2, 2};
+  Stencil<3, LbmCell> s1(stencils::lbm_shape(), opts);
+  s1.register_arrays(g1);
+  s1.run(7, stencils::lbm_kernel(0.7));
+  Stencil<3, LbmCell> s2(stencils::lbm_shape(), opts);
+  s2.register_arrays(g2);
+  s2.run(Algorithm::kLoopsSerial, 7, stencils::lbm_kernel(0.7));
+  for (std::int64_t x = 0; x < ext[0]; ++x) {
+    for (std::int64_t y = 0; y < ext[1]; ++y) {
+      for (std::int64_t z = 0; z < ext[2]; ++z) {
+        const LbmCell& a = g1.at(s1.result_time(), {x, y, z});
+        const LbmCell& b = g2.at(s2.result_time(), {x, y, z});
+        for (int q = 0; q < stencils::lbm_q; ++q) {
+          ASSERT_EQ(a.f[static_cast<std::size_t>(q)],
+                    b.f[static_cast<std::size_t>(q)]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Lbm, ShearDecaysTowardUniformFlow) {
+  // With BGK relaxation the shear perturbation decays (viscous damping).
+  const std::array<std::int64_t, 3> ext = {16, 16, 4};
+  Array<LbmCell, 3> grid(ext, 1);
+  grid.register_boundary(periodic_boundary<LbmCell, 3>());
+  stencils::lbm_init(grid, 0);
+  auto shear_energy = [&](std::int64_t t) {
+    double e = 0;
+    for (std::int64_t x = 0; x < ext[0]; ++x) {
+      for (std::int64_t y = 0; y < ext[1]; ++y) {
+        for (std::int64_t z = 0; z < ext[2]; ++z) {
+          const LbmCell& c = grid.at(t, {x, y, z});
+          double rho = 0, ux = 0;
+          for (int q = 0; q < stencils::lbm_q; ++q) {
+            rho += c.f[static_cast<std::size_t>(q)];
+            ux += c.f[static_cast<std::size_t>(q)] *
+                  stencils::lbm_e[static_cast<std::size_t>(q)][0];
+          }
+          e += (ux / rho) * (ux / rho);
+        }
+      }
+    }
+    return e;
+  };
+  const double e0 = shear_energy(0);
+  Stencil<3, LbmCell> st(stencils::lbm_shape());
+  st.register_arrays(grid);
+  st.run(60, stencils::lbm_kernel(0.6));
+  EXPECT_LT(shear_energy(st.result_time()), e0);
+}
+
+}  // namespace
+}  // namespace pochoir

@@ -1,0 +1,107 @@
+// Conway's Game of Life: known patterns evolve correctly under TRAP.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "stencils/common.hpp"
+#include "stencils/life.hpp"
+
+namespace pochoir {
+namespace {
+
+using stencils::LifeCell;
+
+Array<LifeCell, 2> board(std::int64_t n,
+                         const std::set<std::pair<int, int>>& alive) {
+  Array<LifeCell, 2> u({n, n}, 1);
+  u.register_boundary(periodic_boundary<LifeCell, 2>());
+  u.fill_time(0, [&](const std::array<std::int64_t, 2>& i) -> LifeCell {
+    return alive.count({static_cast<int>(i[0]), static_cast<int>(i[1])}) ? 1 : 0;
+  });
+  return u;
+}
+
+std::set<std::pair<int, int>> cells_at(const Array<LifeCell, 2>& u,
+                                       std::int64_t t) {
+  std::set<std::pair<int, int>> alive;
+  for (std::int64_t x = 0; x < u.extent(0); ++x) {
+    for (std::int64_t y = 0; y < u.extent(1); ++y) {
+      if (u.at(t, {x, y}) != 0) {
+        alive.insert({static_cast<int>(x), static_cast<int>(y)});
+      }
+    }
+  }
+  return alive;
+}
+
+TEST(Life, BlinkerOscillatesWithPeriodTwo) {
+  const std::set<std::pair<int, int>> horizontal = {{8, 7}, {8, 8}, {8, 9}};
+  const std::set<std::pair<int, int>> vertical = {{7, 8}, {8, 8}, {9, 8}};
+  auto u = board(17, horizontal);
+  Stencil<2, LifeCell> st(stencils::life_shape());
+  st.register_arrays(u);
+  st.run(1, stencils::life_kernel());
+  EXPECT_EQ(cells_at(u, st.result_time()), vertical);
+  st.run(1, stencils::life_kernel());
+  EXPECT_EQ(cells_at(u, st.result_time()), horizontal);
+}
+
+TEST(Life, BlockIsStill) {
+  const std::set<std::pair<int, int>> block = {{4, 4}, {4, 5}, {5, 4}, {5, 5}};
+  auto u = board(12, block);
+  Stencil<2, LifeCell> st(stencils::life_shape());
+  st.register_arrays(u);
+  st.run(7, stencils::life_kernel());
+  EXPECT_EQ(cells_at(u, st.result_time()), block);
+}
+
+TEST(Life, GliderTranslatesAcrossTorus) {
+  // The glider moves one cell diagonally every 4 generations, wrapping.
+  const std::set<std::pair<int, int>> glider = {
+      {1, 2}, {2, 3}, {3, 1}, {3, 2}, {3, 3}};
+  const std::int64_t n = 16;
+  auto u = board(n, glider);
+  Stencil<2, LifeCell> st(stencils::life_shape());
+  st.register_arrays(u);
+  st.run(4 * static_cast<std::int64_t>(n), stencils::life_kernel());
+  // After 4n generations the glider has shifted by (n, n): back to start.
+  EXPECT_EQ(cells_at(u, st.result_time()), glider);
+}
+
+TEST(Life, TrapMatchesLoopsOnRandomSoup) {
+  const std::int64_t n = 48;
+  Rng rng(2024);
+  auto init = [&](std::uint64_t seed) {
+    Rng local(seed);
+    Array<LifeCell, 2> u({n, n}, 1);
+    u.register_boundary(periodic_boundary<LifeCell, 2>());
+    u.fill_time(0, [&](const std::array<std::int64_t, 2>&) -> LifeCell {
+      return local.next_below(3) == 0 ? 1 : 0;
+    });
+    return u;
+  };
+  auto u1 = init(5);
+  auto u2 = init(5);
+  Stencil<2, LifeCell> s1(stencils::life_shape());
+  s1.register_arrays(u1);
+  s1.run(33, stencils::life_kernel());
+  Stencil<2, LifeCell> s2(stencils::life_shape());
+  s2.register_arrays(u2);
+  s2.run(Algorithm::kLoopsSerial, 33, stencils::life_kernel());
+  EXPECT_EQ(cells_at(u1, s1.result_time()), cells_at(u2, s2.result_time()));
+  (void)rng;
+}
+
+TEST(Life, ShapeHasSlopeOneAndNineCells) {
+  const auto s = stencils::life_shape();
+  EXPECT_EQ(s.cells().size(), 10u);  // home + 3x3 neighborhood
+  EXPECT_EQ(s.sigma(0), 1);
+  EXPECT_EQ(s.sigma(1), 1);
+  EXPECT_EQ(s.depth(), 1);
+}
+
+}  // namespace
+}  // namespace pochoir

@@ -1,0 +1,146 @@
+// Dimensional coverage: the walker must be correct in 1D, 3D and 4D, and
+// for depth-2 stencils (wave) — TRAP vs the serial loop baseline, bitwise.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "stencils/heat.hpp"
+#include "stencils/wave.hpp"
+
+namespace pochoir {
+namespace {
+
+template <int D, typename Kernel>
+void expect_trap_equals_loops(const Shape<D>& shape,
+                              std::array<std::int64_t, D> extents,
+                              std::int64_t steps, const Kernel& kern,
+                              BoundaryFn<double, D> boundary,
+                              Options<D> opts) {
+  auto init = [](const std::array<std::int64_t, D>& i) {
+    double v = 0.37;
+    for (int d = 0; d < D; ++d) {
+      v += 0.01 * static_cast<double>((d + 2) * i[static_cast<std::size_t>(d)] % 17);
+    }
+    return v;
+  };
+  Array<double, D> u1(extents, shape.depth());
+  Array<double, D> u2(extents, shape.depth());
+  u1.register_boundary(boundary);
+  u2.register_boundary(boundary);
+  for (std::int64_t lvl = 0; lvl < shape.depth(); ++lvl) {
+    u1.fill_time(lvl, init);
+    u2.fill_time(lvl, init);
+  }
+  Stencil<D, double> s1(shape, opts);
+  s1.register_arrays(u1);
+  s1.run(steps, kern);
+  Stencil<D, double> s2(shape, opts);
+  s2.register_arrays(u2);
+  s2.run(Algorithm::kLoopsSerial, steps, kern);
+  ASSERT_EQ(s1.result_time(), s2.result_time());
+  const std::int64_t rt = s1.result_time();
+  std::array<std::int64_t, D> idx{};
+  while (true) {
+    const double a = u1.at(rt, idx);
+    const double b = u2.at(rt, idx);
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0);
+    int i = D - 1;
+    for (; i >= 0; --i) {
+      if (++idx[static_cast<std::size_t>(i)] < extents[static_cast<std::size_t>(i)]) break;
+      idx[static_cast<std::size_t>(i)] = 0;
+    }
+    if (i < 0) break;
+  }
+}
+
+TEST(MultiDim, Heat1DPeriodic) {
+  Options<1> opts;
+  opts.dt_threshold = 4;
+  opts.dx_threshold = {16};
+  expect_trap_equals_loops<1>(stencils::heat_shape<1>(), {257}, 64,
+                              stencils::heat_kernel_1d({0.3}),
+                              periodic_boundary<double, 1>(), opts);
+}
+
+TEST(MultiDim, Heat1DDirichletUncoarsened) {
+  expect_trap_equals_loops<1>(stencils::heat_shape<1>(), {64}, 40,
+                              stencils::heat_kernel_1d({0.3}),
+                              dirichlet_boundary<double, 1>(0.5),
+                              Options<1>::uncoarsened());
+}
+
+TEST(MultiDim, Heat3DPeriodic) {
+  Options<3> opts;
+  opts.dt_threshold = 2;
+  opts.dx_threshold = {4, 4, 4};
+  expect_trap_equals_loops<3>(stencils::heat_shape<3>(), {20, 18, 22}, 13,
+                              stencils::heat_kernel_3d({0.1, 0.11, 0.12}),
+                              periodic_boundary<double, 3>(), opts);
+}
+
+TEST(MultiDim, Heat3DUnitStrideProtected) {
+  // The paper's >=3D heuristic: never cut the unit-stride dimension.
+  Options<3> opts;
+  opts.dt_threshold = 3;
+  opts.dx_threshold = {3, 3, Options<3>::kNeverCut};
+  expect_trap_equals_loops<3>(stencils::heat_shape<3>(), {24, 16, 32}, 10,
+                              stencils::heat_kernel_3d({0.1, 0.11, 0.12}),
+                              neumann_boundary<double, 3>(), opts);
+}
+
+TEST(MultiDim, Heat4DPeriodic) {
+  Options<4> opts;
+  opts.dt_threshold = 2;
+  opts.dx_threshold = {3, 3, 3, 8};
+  expect_trap_equals_loops<4>(
+      stencils::heat_shape<4>(), {10, 9, 8, 12}, 9,
+      stencils::heat_kernel_4d({0.05, 0.06, 0.07, 0.08}),
+      periodic_boundary<double, 4>(), opts);
+}
+
+TEST(MultiDim, Wave3DDepthTwo) {
+  Options<3> opts;
+  opts.dt_threshold = 2;
+  opts.dx_threshold = {4, 4, 8};
+  expect_trap_equals_loops<3>(stencils::wave_shape(), {18, 16, 20}, 12,
+                              stencils::wave_kernel(0.05),
+                              dirichlet_boundary<double, 3>(0.0), opts);
+}
+
+TEST(MultiDim, Wave3DPeriodicStrapAgainstLoops) {
+  const auto shape = stencils::wave_shape();
+  std::array<std::int64_t, 3> ext = {16, 14, 12};
+  auto init = [](const std::array<std::int64_t, 3>& i) {
+    return 0.01 * static_cast<double>((i[0] * 5 + i[1] * 3 + i[2]) % 29);
+  };
+  Array<double, 3> u1(ext, shape.depth());
+  Array<double, 3> u2(ext, shape.depth());
+  for (auto* u : {&u1, &u2}) {
+    u->register_boundary(periodic_boundary<double, 3>());
+    u->fill_time(0, init);
+    u->fill_time(1, init);
+  }
+  Options<3> opts;
+  opts.dt_threshold = 1;
+  opts.dx_threshold = {2, 2, 2};
+  const auto kern = stencils::wave_kernel(0.04);
+  Stencil<3, double> s1(shape, opts);
+  s1.register_arrays(u1);
+  s1.run(Algorithm::kStrap, 10, kern);
+  Stencil<3, double> s2(shape, opts);
+  s2.register_arrays(u2);
+  s2.run(Algorithm::kLoopsSerial, 10, kern);
+  for (std::int64_t x = 0; x < ext[0]; ++x) {
+    for (std::int64_t y = 0; y < ext[1]; ++y) {
+      for (std::int64_t z = 0; z < ext[2]; ++z) {
+        ASSERT_EQ(u1.interior(s1.result_time(), x, y, z),
+                  u2.interior(s2.result_time(), x, y, z));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pochoir

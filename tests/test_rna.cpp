@@ -1,0 +1,101 @@
+// RNA pairing relaxation: monotonicity, convergence, and equivalence with
+// the serial reference (see DESIGN.md for the documented substitution).
+#include <gtest/gtest.h>
+
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "stencils/common.hpp"
+#include "stencils/rna.hpp"
+
+namespace pochoir {
+namespace {
+
+using stencils::RnaCell;
+
+std::vector<RnaCell> run_rna(const std::vector<int>& seq, std::int64_t rounds,
+                             Algorithm alg) {
+  const auto n = static_cast<std::int64_t>(seq.size());
+  Array<RnaCell, 2> grid({n, n}, 1);
+  grid.register_boundary(zero_boundary<RnaCell, 2>());
+  grid.fill_time(0, [](const auto&) { return 0; });
+  Stencil<2, RnaCell> st(stencils::rna_shape());
+  st.register_arrays(grid);
+  st.run(alg, rounds, stencils::rna_kernel(seq));
+  std::vector<RnaCell> out(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      out[static_cast<std::size_t>(i * n + j)] =
+          grid.interior(st.result_time(), i, j);
+    }
+  }
+  return out;
+}
+
+TEST(Rna, BondTable) {
+  EXPECT_EQ(stencils::rna_bond(2, 1), 3);  // G-C
+  EXPECT_EQ(stencils::rna_bond(1, 2), 3);
+  EXPECT_EQ(stencils::rna_bond(0, 3), 2);  // A-U
+  EXPECT_EQ(stencils::rna_bond(2, 3), 1);  // G-U
+  EXPECT_EQ(stencils::rna_bond(0, 1), 0);
+  EXPECT_EQ(stencils::rna_bond(0, 0), 0);
+}
+
+TEST(Rna, StencilMatchesReference) {
+  const auto seq = stencils::random_sequence(24, 4, 5);
+  for (const std::int64_t rounds : {1, 5, 12}) {
+    const auto want = stencils::rna_reference(seq, rounds);
+    const auto got = run_rna(seq, rounds, Algorithm::kTrap);
+    ASSERT_EQ(got, want) << "rounds=" << rounds;
+  }
+}
+
+TEST(Rna, AlgorithmsAgree) {
+  const auto seq = stencils::random_sequence(20, 4, 77);
+  const auto a = run_rna(seq, 9, Algorithm::kTrap);
+  const auto b = run_rna(seq, 9, Algorithm::kStrap);
+  const auto c = run_rna(seq, 9, Algorithm::kLoopsSerial);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(Rna, ScoresAreMonotoneInRounds) {
+  const auto seq = stencils::random_sequence(18, 4, 9);
+  const auto r3 = run_rna(seq, 3, Algorithm::kTrap);
+  const auto r8 = run_rna(seq, 8, Algorithm::kTrap);
+  for (std::size_t k = 0; k < r3.size(); ++k) {
+    ASSERT_GE(r8[k], r3[k]);
+  }
+}
+
+TEST(Rna, ConvergesToFixpoint) {
+  const auto seq = stencils::random_sequence(14, 4, 30);
+  const auto n = static_cast<std::int64_t>(seq.size());
+  // After ~2n rounds the relaxation must be stationary.
+  const auto a = run_rna(seq, 2 * n, Algorithm::kTrap);
+  const auto b = run_rna(seq, 2 * n + 3, Algorithm::kTrap);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rna, HairpinConstraintBlocksShortLoops) {
+  // Two complementary bases closer than the minimum loop cannot pair:
+  // score stays 0 for a short G...C pair.
+  std::vector<int> seq = {2, 0, 0, 1};  // G A A C, j - i = 3 <= min_loop
+  const auto s = run_rna(seq, 10, Algorithm::kTrap);
+  EXPECT_EQ(s[0 * 4 + 3], 0);
+  // With a long enough spacer the pair forms (+3 for G-C).
+  std::vector<int> seq2 = {2, 0, 0, 0, 0, 1};  // j - i = 5 > 3
+  const auto s2 = run_rna(seq2, 12, Algorithm::kTrap);
+  EXPECT_EQ(s2[0 * 6 + 5], 3);
+}
+
+TEST(Rna, NestedPairsAccumulate) {
+  // G G A A A A C C: outer and inner G-C pairs both form (+6) given the
+  // relaxation enough rounds.
+  std::vector<int> seq = {2, 2, 0, 0, 0, 0, 0, 1, 1};
+  const auto n = static_cast<std::int64_t>(seq.size());
+  const auto s = run_rna(seq, 3 * n, Algorithm::kTrap);
+  EXPECT_GE(s[static_cast<std::size_t>(0 * n + (n - 1))], 6);
+}
+
+}  // namespace
+}  // namespace pochoir

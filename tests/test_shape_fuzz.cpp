@@ -1,0 +1,172 @@
+// Randomized cross-checking: arbitrary stencil shapes (random slopes,
+// depths, asymmetric offsets), random boundary conditions and coarsenings —
+// TRAP must agree with the serial loop baseline bit-for-bit on every trial.
+// This is the broadest net over the decomposition: any wrong cut, ordering
+// or interior test shows up as a value difference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "support/rng.hpp"
+
+namespace pochoir {
+namespace {
+
+struct FuzzTap {
+  std::int64_t dt;
+  std::int64_t dx;
+  std::int64_t dy;
+  double coeff;
+};
+
+TEST(ShapeFuzz, RandomShapes2DMatchLoops) {
+  Rng rng(20260610);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Random shape: depth 1-2, up to 7 read taps with offsets in [-2, 2].
+    const std::int64_t depth = 1 + rng.next_below(2);
+    const std::int64_t home_dt = 1;
+    std::vector<FuzzTap> taps;
+    const int ntaps = 2 + static_cast<int>(rng.next_below(6));
+    std::vector<ShapeCell<2>> cells;
+    cells.push_back({home_dt, {0, 0}});
+    for (int k = 0; k < ntaps; ++k) {
+      FuzzTap tap;
+      tap.dt = home_dt - 1 - rng.next_below(depth);
+      tap.dx = rng.next_below(5) - 2;
+      tap.dy = rng.next_below(5) - 2;
+      tap.coeff = 0.05 + 0.1 * rng.next_double();
+      taps.push_back(tap);
+      cells.push_back({tap.dt, {tap.dx, tap.dy}});
+    }
+    const Shape<2> shape(cells);
+
+    const std::int64_t n = 12 + rng.next_below(28);
+    const std::int64_t steps = 3 + rng.next_below(14);
+    Options<2> opts;
+    opts.dt_threshold = 1 + rng.next_below(4);
+    opts.dx_threshold = {1 + rng.next_below(8), 1 + rng.next_below(8)};
+
+    BoundaryFn<double, 2> boundary;
+    switch (rng.next_below(3)) {
+      case 0:
+        boundary = periodic_boundary<double, 2>();
+        break;
+      case 1:
+        boundary = dirichlet_boundary<double, 2>(0.25);
+        break;
+      default:
+        boundary = neumann_boundary<double, 2>();
+        break;
+    }
+
+    auto make = [&] {
+      Array<double, 2> u({n, n}, shape.depth());
+      u.register_boundary(boundary);
+      Rng init(1000 + static_cast<std::uint64_t>(trial));
+      for (std::int64_t lvl = 0; lvl < shape.depth(); ++lvl) {
+        u.fill_time(lvl, [&](const std::array<std::int64_t, 2>&) {
+          return init.uniform(-1.0, 1.0);
+        });
+      }
+      return u;
+    };
+
+    // The kernel: a random linear combination of the taps, damped so values
+    // stay finite.
+    auto kernel = [taps](std::int64_t t, std::int64_t x, std::int64_t y,
+                         auto u) {
+      double acc = 0;
+      for (const FuzzTap& tap : taps) {
+        acc += tap.coeff * u(t + tap.dt, x + tap.dx, y + tap.dy);
+      }
+      u(t + 1, x, y) = 0.5 * acc;
+    };
+
+    auto u1 = make();
+    Stencil<2, double> s1(shape, opts);
+    s1.register_arrays(u1);
+    s1.run(steps, kernel);
+
+    auto u2 = make();
+    Stencil<2, double> s2(shape, opts);
+    s2.register_arrays(u2);
+    s2.run(Algorithm::kLoopsSerial, steps, kernel);
+
+    const std::int64_t rt = s1.result_time();
+    ASSERT_EQ(rt, s2.result_time());
+    for (std::int64_t x = 0; x < n; ++x) {
+      for (std::int64_t y = 0; y < n; ++y) {
+        ASSERT_EQ(u1.interior(rt, x, y), u2.interior(rt, x, y))
+            << "trial " << trial << " point (" << x << "," << y
+            << ") shape sigma=(" << shape.sigma(0) << "," << shape.sigma(1)
+            << ") depth=" << shape.depth();
+      }
+    }
+  }
+}
+
+TEST(ShapeFuzz, RandomShapes1DAllAlgorithmsAgree) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::int64_t depth = 1 + rng.next_below(3);  // up to depth 3
+    std::vector<ShapeCell<1>> cells;
+    cells.push_back({1, {0}});
+    const int ntaps = 2 + static_cast<int>(rng.next_below(4));
+    std::vector<FuzzTap> taps;
+    for (int k = 0; k < ntaps; ++k) {
+      FuzzTap tap;
+      tap.dt = -rng.next_below(depth);
+      tap.dx = rng.next_below(7) - 3;  // slopes up to 3
+      tap.dy = 0;
+      tap.coeff = 0.1 + 0.1 * rng.next_double();
+      taps.push_back(tap);
+      cells.push_back({tap.dt, {tap.dx}});
+    }
+    const Shape<1> shape(cells);
+
+    const std::int64_t n = 16 + rng.next_below(100);
+    const std::int64_t steps = 2 + rng.next_below(24);
+    Options<1> opts;
+    opts.dt_threshold = 1 + rng.next_below(5);
+    opts.dx_threshold = {1 + rng.next_below(12)};
+
+    auto kernel = [taps](std::int64_t t, std::int64_t x, auto u) {
+      double acc = 0;
+      for (const FuzzTap& tap : taps) {
+        acc += tap.coeff * u(t + tap.dt, x + tap.dx);
+      }
+      u(t + 1, x) = 0.4 * acc;
+    };
+
+    auto run_one = [&](Algorithm alg) {
+      Array<double, 1> u({n}, shape.depth());
+      u.register_boundary(periodic_boundary<double, 1>());
+      Rng init(7 + static_cast<std::uint64_t>(trial));
+      for (std::int64_t lvl = 0; lvl < shape.depth(); ++lvl) {
+        u.fill_time(lvl, [&](const std::array<std::int64_t, 1>&) {
+          return init.uniform(-1.0, 1.0);
+        });
+      }
+      Stencil<1, double> st(shape, opts);
+      st.register_arrays(u);
+      st.run(alg, steps, kernel);
+      std::vector<double> out(static_cast<std::size_t>(n));
+      for (std::int64_t x = 0; x < n; ++x) {
+        out[static_cast<std::size_t>(x)] = u.interior(st.result_time(), x);
+      }
+      return out;
+    };
+
+    const auto trap = run_one(Algorithm::kTrap);
+    const auto strap = run_one(Algorithm::kStrap);
+    const auto loops = run_one(Algorithm::kLoopsSerial);
+    ASSERT_EQ(trap, loops) << "trial " << trial << " sigma=" << shape.sigma(0)
+                           << " depth=" << shape.depth();
+    ASSERT_EQ(strap, loops) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace pochoir

@@ -1,0 +1,129 @@
+// Unit tests for the support utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/aligned_buffer.hpp"
+#include "support/math_util.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace pochoir {
+namespace {
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+}
+
+TEST(MathUtil, FloorDivNegative) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-8, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+}
+
+TEST(MathUtil, ModFloor) {
+  EXPECT_EQ(mod_floor(5, 3), 2);
+  EXPECT_EQ(mod_floor(-1, 10), 9);
+  EXPECT_EQ(mod_floor(-10, 10), 0);
+  EXPECT_EQ(mod_floor(-11, 10), 9);
+  EXPECT_EQ(mod_floor(0, 7), 0);
+}
+
+TEST(MathUtil, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2(1024), 10);
+}
+
+TEST(MathUtil, Ipow) {
+  EXPECT_EQ(ipow(3, 0), 1);
+  EXPECT_EQ(ipow(3, 1), 3);
+  EXPECT_EQ(ipow(3, 4), 81);
+  EXPECT_EQ(ipow(2, 10), 1024);
+}
+
+TEST(MathUtil, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(5), 8);
+  EXPECT_EQ(next_pow2(64), 64);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_below(17);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 17);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all residues hit over 1000 draws
+}
+
+TEST(AlignedBuffer, AlignmentAndValueInit) {
+  AlignedBuffer<double> buf(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.0);
+}
+
+TEST(AlignedBuffer, CopyAndMove) {
+  AlignedBuffer<int> a(16);
+  for (std::size_t i = 0; i < 16; ++i) a[i] = static_cast<int>(i);
+  AlignedBuffer<int> b(a);
+  EXPECT_EQ(b[7], 7);
+  AlignedBuffer<int> c(std::move(a));
+  EXPECT_EQ(c[7], 7);
+  b = c;
+  EXPECT_EQ(b[15], 15);
+}
+
+TEST(AlignedBuffer, EmptyIsSafe) {
+  AlignedBuffer<double> buf;
+  EXPECT_EQ(buf.size(), 0u);
+  AlignedBuffer<double> copy(buf);
+  EXPECT_EQ(copy.size(), 0u);
+}
+
+TEST(Table, RendersWithoutCrashing) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", strf("%.2f", 1.5)});
+  t.add_row({"beta", "2"});
+  t.print();
+  EXPECT_EQ(strf("%d/%d", 3, 4), "3/4");
+}
+
+}  // namespace
+}  // namespace pochoir

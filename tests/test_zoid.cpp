@@ -1,0 +1,146 @@
+// Geometry tests: zoid definitions of §3.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "geometry/zoid.hpp"
+#include "support/rng.hpp"
+
+namespace pochoir {
+namespace {
+
+TEST(Zoid, BoxBasics) {
+  const auto z = Zoid<2>::box(3, 10, {8, 9});
+  EXPECT_EQ(z.height(), 7);
+  EXPECT_EQ(z.bottom_width(0), 8);
+  EXPECT_EQ(z.top_width(0), 8);
+  EXPECT_EQ(z.width(1), 9);
+  EXPECT_TRUE(z.upright(0));
+  EXPECT_TRUE(z.well_defined());
+  EXPECT_EQ(z.volume(), 7 * 8 * 9);
+}
+
+TEST(Zoid, UprightAndInverted) {
+  Zoid<1> z;
+  z.t0 = 0;
+  z.t1 = 4;
+  z.x0 = {0};
+  z.x1 = {16};
+  z.dx0 = {1};
+  z.dx1 = {-1};
+  EXPECT_TRUE(z.upright(0));          // shrinking: bottom is longer
+  EXPECT_EQ(z.top_width(0), 16 - 8);  // 16 - 2*4
+  z.dx0 = {-1};
+  z.dx1 = {1};
+  EXPECT_FALSE(z.upright(0));  // growing: top is longer
+  EXPECT_EQ(z.width(0), 16 + 8);
+}
+
+TEST(Zoid, WellDefinedRejectsBadShapes) {
+  Zoid<1> z;
+  z.t0 = 0;
+  z.t1 = 0;  // zero height
+  z.x0 = {0};
+  z.x1 = {4};
+  EXPECT_FALSE(z.well_defined());
+  z.t1 = 2;
+  z.x1 = {0};
+  z.dx0 = {-1};
+  z.dx1 = {1};
+  EXPECT_TRUE(z.well_defined());  // minimal inverted triangle
+  z.dx0 = {1};
+  z.dx1 = {-1};
+  EXPECT_FALSE(z.well_defined());  // negative top base
+}
+
+TEST(Zoid, MinimalTriangleVolume) {
+  // Gray triangle: empty bottom, grows by sigma=1 on both sides.
+  Zoid<1> z;
+  z.t0 = 0;
+  z.t1 = 4;
+  z.x0 = {10};
+  z.x1 = {10};
+  z.dx0 = {-1};
+  z.dx1 = {1};
+  // widths per time step: 0, 2, 4, 6
+  EXPECT_EQ(z.volume(), 0 + 2 + 4 + 6);
+}
+
+TEST(Zoid, MinLoMaxHiTrackSlopedSides) {
+  Zoid<1> z;
+  z.t0 = 0;
+  z.t1 = 5;
+  z.x0 = {10};
+  z.x1 = {20};
+  z.dx0 = {-2};
+  z.dx1 = {1};
+  EXPECT_EQ(z.min_lo(0), 10 - 2 * 4);
+  EXPECT_EQ(z.max_hi(0), 20 + 4);
+}
+
+TEST(ForEachPoint, MatchesSetDefinition2D) {
+  Zoid<2> z;
+  z.t0 = 2;
+  z.t1 = 6;
+  z.x0 = {0, 3};
+  z.x1 = {8, 9};
+  z.dx0 = {1, 0};
+  z.dx1 = {-1, 1};
+  std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> visited;
+  for_each_point(z, [&](std::int64_t t, const std::array<std::int64_t, 2>& i) {
+    auto [it, fresh] = visited.insert({t, i[0], i[1]});
+    EXPECT_TRUE(fresh) << "duplicate point";
+  });
+  // Brute-force check against the set definition.
+  std::int64_t expected = 0;
+  for (std::int64_t t = z.t0; t < z.t1; ++t) {
+    for (std::int64_t x = -32; x < 32; ++x) {
+      for (std::int64_t y = -32; y < 32; ++y) {
+        const std::int64_t s = t - z.t0;
+        const bool inside = x >= z.x0[0] + z.dx0[0] * s &&
+                            x < z.x1[0] + z.dx1[0] * s &&
+                            y >= z.x0[1] + z.dx0[1] * s &&
+                            y < z.x1[1] + z.dx1[1] * s;
+        if (inside) {
+          ++expected;
+          EXPECT_TRUE(visited.count({t, x, y})) << t << "," << x << "," << y;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(visited.size()), expected);
+  EXPECT_EQ(z.volume(), expected);
+}
+
+TEST(ForEachPoint, TimeMajorOrder) {
+  const auto z = Zoid<1>::box(0, 3, {4});
+  std::int64_t last_t = -1;
+  for_each_point(z, [&](std::int64_t t, const std::array<std::int64_t, 1>&) {
+    EXPECT_GE(t, last_t);
+    last_t = t;
+  });
+  EXPECT_EQ(last_t, 2);
+}
+
+TEST(ZoidVolume, RandomZoidsMatchBruteForce) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Zoid<1> z;
+    z.t0 = 0;
+    z.t1 = 1 + rng.next_below(6);
+    z.x0 = {rng.next_below(20)};
+    z.x1 = {z.x0[0] + rng.next_below(30)};
+    z.dx0 = {rng.next_below(5) - 2};
+    z.dx1 = {rng.next_below(5) - 2};
+    if (!z.well_defined()) continue;
+    std::int64_t count = 0;
+    for_each_point(z, [&](std::int64_t, const std::array<std::int64_t, 1>&) {
+      ++count;
+    });
+    ASSERT_EQ(count, z.volume());
+  }
+}
+
+}  // namespace
+}  // namespace pochoir
