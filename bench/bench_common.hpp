@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "runtime/scheduler.hpp"
 #include "support/table.hpp"
@@ -50,5 +51,65 @@ inline void print_header(const char* what, const char* paper_ref) {
               rt::Scheduler::instance().num_threads(), scale());
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable benchmark results, written as a JSON array so the perf
+/// trajectory can be tracked as BENCH_<name>.json across PRs.  The output
+/// path defaults to BENCH_<name>.json in the working directory; set
+/// POCHOIR_BENCH_JSON=<path> to redirect it, or POCHOIR_BENCH_JSON=off to
+/// suppress the file.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  /// One measured configuration.  `mpoints` is millions of space-time grid
+  /// point updates per wall-clock second.
+  void add(const std::string& kernel, const std::string& grid,
+           std::int64_t steps, const std::string& config, double seconds,
+           double mpoints) {
+    records_.push_back({kernel, grid, steps, config, seconds, mpoints});
+  }
+
+  ~JsonReport() { write(); }
+
+  void write() const {
+    std::string path = "BENCH_" + bench_ + ".json";
+    if (const char* env = std::getenv("POCHOIR_BENCH_JSON")) {
+      if (std::string(env) == "off") return;
+      path = env;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"kernel\": \"%s\", \"grid\": "
+                   "\"%s\", \"steps\": %lld, \"config\": \"%s\", "
+                   "\"threads\": %d, \"scale\": %.3f, \"seconds\": %.6f, "
+                   "\"mpoints_per_s\": %.3f}%s\n",
+                   bench_.c_str(), r.kernel.c_str(), r.grid.c_str(),
+                   static_cast<long long>(r.steps), r.config.c_str(),
+                   rt::Scheduler::instance().num_threads(), scale(),
+                   r.seconds, r.mpoints, i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench: wrote %zu records to %s\n", records_.size(),
+                 path.c_str());
+  }
+
+ private:
+  struct Record {
+    std::string kernel;
+    std::string grid;
+    std::int64_t steps;
+    std::string config;
+    double seconds;
+    double mpoints;
+  };
+
+  std::string bench_;
+  std::vector<Record> records_;
+};
 
 }  // namespace pochoir::bench

@@ -31,6 +31,7 @@ struct Row {
   std::string dims;
   std::string grid;
   std::int64_t steps;
+  std::int64_t space_points;  // spatial grid points per time step
   double pochoir_1core;
   double pochoir_pcore;
   double serial_loops;
@@ -41,9 +42,10 @@ struct Row {
 /// Runs one benchmark in all four configurations.
 template <typename Setup>
 Row run_benchmark(const std::string& name, const std::string& dims,
-                  const std::string& grid, std::int64_t steps, Setup&& setup,
+                  const std::string& grid, std::int64_t steps,
+                  std::int64_t space_points, Setup&& setup,
                   const std::string& paper_note) {
-  Row row{name, dims, grid, steps, 0, 0, 0, 0, paper_note};
+  Row row{name, dims, grid, steps, space_points, 0, 0, 0, 0, paper_note};
   row.pochoir_1core = timed([&] {
     auto runner = setup();
     runner(Algorithm::kTrap, /*parallel=*/false);
@@ -109,7 +111,7 @@ int main() {
   {
     const std::int64_t n = scaled(1200, 1.0 / 3), t = scaled(96, 1.0 / 3);
     rows.push_back(run_benchmark(
-        "Heat", "2", std::to_string(n) + "^2", t,
+        "Heat", "2", std::to_string(n) + "^2", t, n * n,
         make_runner<2, double>(
             heat_shape<2>(), {n, n}, dirichlet_boundary<double, 2>(0.0), t,
             [] { return heat_kernel_2d({0.125, 0.125}); },
@@ -120,7 +122,7 @@ int main() {
   {
     const std::int64_t n = scaled(1200, 1.0 / 3), t = scaled(96, 1.0 / 3);
     rows.push_back(run_benchmark(
-        "Heat", "2p", std::to_string(n) + "^2", t,
+        "Heat", "2p", std::to_string(n) + "^2", t, n * n,
         make_runner<2, double>(
             heat_shape<2>(), {n, n}, periodic_boundary<double, 2>(), t,
             [] { return heat_kernel_2d({0.125, 0.125}); },
@@ -131,7 +133,7 @@ int main() {
   {
     const std::int64_t n = scaled(36, 1.0 / 5), t = scaled(24, 1.0 / 5);
     rows.push_back(run_benchmark(
-        "Heat", "4", std::to_string(n) + "^4", t,
+        "Heat", "4", std::to_string(n) + "^4", t, n * n * n * n,
         make_runner<4, double>(
             heat_shape<4>(), {n, n, n, n},
             dirichlet_boundary<double, 4>(0.0), t,
@@ -143,7 +145,7 @@ int main() {
   {
     const std::int64_t n = scaled(800, 1.0 / 3), t = scaled(96, 1.0 / 3);
     rows.push_back(run_benchmark(
-        "Life", "2p", std::to_string(n) + "^2", t,
+        "Life", "2p", std::to_string(n) + "^2", t, n * n,
         make_runner<2, LifeCell>(
             life_shape(), {n, n}, periodic_boundary<LifeCell, 2>(), t,
             [] { return life_kernel(); },
@@ -159,7 +161,7 @@ int main() {
   {
     const std::int64_t n = scaled(120, 1.0 / 4), t = scaled(40, 1.0 / 4);
     rows.push_back(run_benchmark(
-        "Wave", "3", std::to_string(n) + "^3", t,
+        "Wave", "3", std::to_string(n) + "^3", t, n * n * n,
         make_runner<3, double>(
             wave_shape(), {n, n, n}, dirichlet_boundary<double, 3>(0.0), t,
             [] { return wave_kernel(0.1); },
@@ -176,7 +178,7 @@ int main() {
     const std::int64_t n = scaled(48, 1.0 / 4), nz = scaled(64, 1.0 / 4);
     const std::int64_t t = scaled(40, 1.0 / 4);
     rows.push_back(run_benchmark(
-        "LBM", "3", std::to_string(n) + "^2x" + std::to_string(nz), t,
+        "LBM", "3", std::to_string(n) + "^2x" + std::to_string(nz), t, n * n * nz,
         make_runner<3, LbmCell>(
             lbm_shape(), {n, n, nz}, periodic_boundary<LbmCell, 3>(), t,
             [] { return lbm_kernel(0.7); },
@@ -189,7 +191,7 @@ int main() {
     const std::int64_t t = scaled(300, 1.0);
     const auto seq = random_sequence(n, 4, 17);
     rows.push_back(run_benchmark(
-        "RNA", "2", std::to_string(n) + "^2", t,
+        "RNA", "2", std::to_string(n) + "^2", t, n * n,
         make_runner<2, RnaCell>(
             rna_shape(), {n, n}, zero_boundary<RnaCell, 2>(), t,
             [seq] { return rna_kernel(seq); },
@@ -206,7 +208,7 @@ int main() {
     const auto b_seq = random_sequence(n, 4, 22);
     const PsaCell border{psa_neg_inf, psa_neg_inf, psa_neg_inf};
     rows.push_back(run_benchmark(
-        "PSA", "1", std::to_string(n), t,
+        "PSA", "1", std::to_string(n), t, n + 1,
         make_runner<1, PsaCell>(
             psa_shape(), {n + 1}, dirichlet_boundary<PsaCell, 1>(border), t,
             [a_seq, b_seq] { return psa_kernel(a_seq, b_seq); },
@@ -230,7 +232,7 @@ int main() {
     const auto a_seq = random_sequence(n, 4, 31);
     const auto b_seq = random_sequence(n, 4, 32);
     rows.push_back(run_benchmark(
-        "LCS", "1", std::to_string(n), t,
+        "LCS", "1", std::to_string(n), t, n + 1,
         make_runner<1, LcsCell>(
             lcs_shape(), {n + 1}, zero_boundary<LcsCell, 1>(), t,
             [a_seq, b_seq] { return lcs_kernel(a_seq, b_seq); },
@@ -250,7 +252,7 @@ int main() {
     p.maturity = 0.9 / (p.dxi() > 0 ? (p.sigma * p.sigma / (p.dxi() * p.dxi()) + p.rate)
                                     : 1.0) * static_cast<double>(p.steps);
     rows.push_back(run_benchmark(
-        "APOP", "1", std::to_string(p.grid), p.steps,
+        "APOP", "1", std::to_string(p.grid), p.steps, p.grid,
         make_runner<1, double>(
             apop_shape(), {p.grid},
             BoundaryFn<double, 1>(
@@ -287,5 +289,20 @@ int main() {
   }
   std::printf("\nNote: 'ratio' columns are loops-time / Pochoir-all-cores "
               "time, the paper's 'ratio' definition.\n");
+
+  JsonReport report("fig3_table");
+  for (const Row& r : rows) {
+    const double mpts = static_cast<double>(r.space_points) *
+                        static_cast<double>(r.steps) / 1e6;
+    const std::string kernel = r.name + " " + r.dims;
+    report.add(kernel, r.grid, r.steps, "trap_1core", r.pochoir_1core,
+               mpts / r.pochoir_1core);
+    report.add(kernel, r.grid, r.steps, "trap_pcore", r.pochoir_pcore,
+               mpts / r.pochoir_pcore);
+    report.add(kernel, r.grid, r.steps, "loops_serial", r.serial_loops,
+               mpts / r.serial_loops);
+    report.add(kernel, r.grid, r.steps, "loops_parallel", r.parallel_loops,
+               mpts / r.parallel_loops);
+  }
   return 0;
 }

@@ -7,8 +7,12 @@
 #include "analysis/cache_sim.hpp"
 #include "core/array.hpp"
 #include "core/boundary.hpp"
+#include "core/shape.hpp"
+#include "core/trap.hpp"
 #include "core/views.hpp"
+#include "core/walk_context.hpp"
 #include "geometry/cuts.hpp"
+#include "runtime/parallel.hpp"
 #include "runtime/task_deque.hpp"
 
 namespace {
@@ -114,6 +118,43 @@ void BM_PlanHyperspaceCut2D(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlanHyperspaceCut2D);
+
+// Cost of bucketing one hyperspace cut's 9 subzoids by dependency level —
+// the per-recursion-node overhead of the TRAP walker.
+void BM_CollectSubzoidsByLevel2D(benchmark::State& state) {
+  auto z = pochoir::Zoid<2>::box(0, 8, {512, 512});
+  z.x0 = {1, 1};  // off-origin: plain trisection, not a seam cut
+  const std::array<std::int64_t, 2> sigma = {1, 1};
+  const std::array<std::int64_t, 2> thresh = {1, 1};
+  const std::array<std::int64_t, 2> grid_ext = {1 << 20, 1 << 20};
+  const auto plan = pochoir::plan_hyperspace_cut(z, sigma, thresh, grid_ext);
+  pochoir::SubzoidLevels<2> levels;
+  for (auto _ : state) {
+    pochoir::collect_subzoids_by_level(z, plan, levels);
+    benchmark::DoNotOptimize(levels.total());
+  }
+}
+BENCHMARK(BM_CollectSubzoidsByLevel2D);
+
+// Pure decomposition overhead of a full TRAP walk: no-op base cases, so
+// everything measured is cuts, bucketing, and recursion bookkeeping.
+// Reported per base-case zoid reached.
+void BM_TrapWalkOverhead2D(benchmark::State& state) {
+  using namespace pochoir;
+  const Shape<2> shape = {{1, 0, 0}, {0, 0, 0}, {0, 1, 0},
+                          {0, -1, 0}, {0, 0, -1}, {0, 0, 1}};
+  const std::array<std::int64_t, 2> extents = {512, 512};
+  const WalkContext<2> ctx =
+      WalkContext<2>::make(shape, extents, Options<2>::heuristic());
+  std::int64_t zoids = 0;
+  for (auto _ : state) {
+    auto base = [&](const Zoid<2>&) { ++zoids; };
+    run_trap(ctx, rt::SerialPolicy{}, 0, 64, base, base);
+    benchmark::DoNotOptimize(zoids);
+  }
+  state.SetItemsProcessed(zoids);
+}
+BENCHMARK(BM_TrapWalkOverhead2D);
 
 }  // namespace
 

@@ -138,15 +138,17 @@ class MetricsWalker {
 
   /// TRAP: levels run serially; zoids within a level in parallel.
   DagMetrics hyper_levels(const Zoid<D>& z, const HyperCut<D>& plan) {
-    const auto levels = collect_subzoids_by_level(z, plan);
+    SubzoidLevels<D> levels;
+    collect_subzoids_by_level(z, plan, levels);
     DagMetrics total;
-    for (const auto& bucket : levels) {
-      if (bucket.empty()) continue;
-      const double r = static_cast<double>(bucket.size());
+    for (int l = 0; l < levels.level_count; ++l) {
+      const int n = levels.size(l);
+      if (n == 0) continue;
+      const double r = static_cast<double>(n);
       DagMetrics level{costs_.spawn * r, costs_.spawn * lg2(r)};
       double max_span = 0;
-      for (const auto& sub : bucket) {
-        const DagMetrics m = walk(sub);
+      for (int i = 0; i < n; ++i) {
+        const DagMetrics m = walk(levels.at(l, i));
         level.work += m.work;
         max_span = std::max(max_span, m.span);
       }

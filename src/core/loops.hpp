@@ -5,9 +5,12 @@
 // baseline mirrors the ghost-cell trick referenced in the paper: each
 // innermost row is split into a checked prefix, an unchecked interior
 // middle, and a checked suffix, so interior points pay no boundary test.
-// Setting `interior_clone = false` forces the checked clone everywhere —
-// the "modulo/check on every access" variant used for the §4 ablation
-// (2.3x degradation on periodic heat).
+// The middle runs through a *row invoker* ri(t, idx, row_end) so view setup
+// and time-level address arithmetic are hoisted to row granularity (the
+// same invoker the TRAP/STRAP base cases use).  Setting
+// `interior_clone = false` forces the checked clone everywhere — the
+// "modulo/check on every access" variant used for the §4 ablation (2.3x
+// degradation on periodic heat).
 #pragma once
 
 #include <array>
@@ -20,17 +23,18 @@ namespace pochoir {
 
 namespace detail {
 
-template <int I, int D, typename KI, typename KB>
+template <int I, int D, typename RI, typename KB>
 void loops_nest(std::int64_t t, std::array<std::int64_t, D>& idx,
                 const std::array<std::int64_t, D>& grid,
                 const std::array<std::int64_t, D>& reach, bool prefix_interior,
-                bool interior_clone, const KI& ki, const KB& kb) {
+                bool interior_clone, const RI& ri, const KB& kb) {
   if constexpr (I == D - 1) {
     const std::int64_t n = grid[I];
     const std::int64_t r = reach[I];
     if (interior_clone && prefix_interior && n > 2 * r) {
       for (idx[I] = 0; idx[I] < r; ++idx[I]) kb(t, idx);
-      for (idx[I] = r; idx[I] < n - r; ++idx[I]) ki(t, idx);
+      idx[I] = r;
+      ri(t, idx, n - r);
       for (idx[I] = n - r; idx[I] < n; ++idx[I]) kb(t, idx);
     } else {
       for (idx[I] = 0; idx[I] < n; ++idx[I]) kb(t, idx);
@@ -42,38 +46,62 @@ void loops_nest(std::int64_t t, std::array<std::int64_t, D>& idx,
       const bool here_interior =
           prefix_interior && idx[I] >= r && idx[I] < n - r;
       loops_nest<I + 1, D>(t, idx, grid, reach, here_interior, interior_clone,
-                           ki, kb);
+                           ri, kb);
     }
   }
 }
 
-template <typename Policy, typename KI, typename KB>
+template <typename Policy, typename RI, typename KB>
 void loops_time_step_1d(const Policy& policy, std::int64_t t, std::int64_t n,
-                        std::int64_t r, const KI& ki, const KB& kb,
+                        std::int64_t r, const RI& ri, const KB& kb,
                         bool interior_clone) {
-  policy.for_range(0, n, 0, [&](std::int64_t x) {
-    std::array<std::int64_t, 1> idx{x};
-    if (interior_clone && x >= r && x < n - r) {
-      ki(t, idx);
-    } else {
+  if (!interior_clone || n <= 2 * r) {
+    policy.for_range(0, n, 0, [&](std::int64_t x) {
+      std::array<std::int64_t, 1> idx{x};
       kb(t, idx);
-    }
+    });
+    return;
+  }
+  for (std::int64_t x = 0; x < r; ++x) {
+    std::array<std::int64_t, 1> idx{x};
+    kb(t, idx);
+  }
+  // Interior middle in row chunks: one invocation of the row invoker per
+  // chunk, so view setup amortizes over the whole chunk.
+  const std::int64_t lo = r;
+  const std::int64_t hi = n - r;
+  std::int64_t chunks = 1;
+  if constexpr (Policy::is_parallel) {
+    const std::int64_t target = 8 * rt::Scheduler::instance().num_threads();
+    chunks = hi - lo < target ? hi - lo : target;
+    if (chunks < 1) chunks = 1;
+  }
+  policy.for_range(0, chunks, 1, [&](std::int64_t c) {
+    const std::int64_t a = lo + (hi - lo) * c / chunks;
+    const std::int64_t b = lo + (hi - lo) * (c + 1) / chunks;
+    std::array<std::int64_t, 1> idx{a};
+    ri(t, idx, b);
   });
+  for (std::int64_t x = hi; x < n; ++x) {
+    std::array<std::int64_t, 1> idx{x};
+    kb(t, idx);
+  }
 }
 
 }  // namespace detail
 
-/// Runs the loop-nest baseline over [t0, t1) x grid.  `ki`/`kb` are the
-/// interior and boundary point functors f(t, idx).
-template <int D, typename Policy, typename KI, typename KB>
+/// Runs the loop-nest baseline over [t0, t1) x grid.  `ri` is the interior
+/// row invoker f(t, idx, row_end); `kb` is the checked per-point boundary
+/// functor f(t, idx).
+template <int D, typename Policy, typename RI, typename KB>
 void run_loops(const WalkContext<D>& ctx, const Policy& policy,
-               std::int64_t t0, std::int64_t t1, const KI& ki, const KB& kb,
+               std::int64_t t0, std::int64_t t1, const RI& ri, const KB& kb,
                bool interior_clone = true) {
   const auto& grid = ctx.grid;
   const auto& reach = ctx.reach;
   for (std::int64_t t = t0; t < t1; ++t) {
     if constexpr (D == 1) {
-      detail::loops_time_step_1d(policy, t, grid[0], reach[0], ki, kb,
+      detail::loops_time_step_1d(policy, t, grid[0], reach[0], ri, kb,
                                  interior_clone);
     } else {
       policy.for_range(0, grid[0], 0, [&](std::int64_t x0) {
@@ -81,7 +109,7 @@ void run_loops(const WalkContext<D>& ctx, const Policy& policy,
         idx[0] = x0;
         const bool slab_interior = x0 >= reach[0] && x0 < grid[0] - reach[0];
         detail::loops_nest<1, D>(t, idx, grid, reach, slab_interior,
-                                 interior_clone, ki, kb);
+                                 interior_clone, ri, kb);
       });
     }
   }

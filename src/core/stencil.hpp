@@ -61,6 +61,17 @@ inline void call_kernel(K& kernel, std::int64_t t,
   call_kernel_impl<D>(kernel, t, idx, std::make_index_sequence<D>{}, views...);
 }
 
+/// Adapts a per-point functor f(t, idx) to the row-invoker signature
+/// f(t, idx, row_end); used by paths that must keep per-point view
+/// construction (shape checking, Phase-1 clones).
+template <int D, typename PF>
+auto point_fn_as_row(const PF& pf) {
+  return [&pf](std::int64_t t, std::array<std::int64_t, D> idx,
+               std::int64_t row_end) {
+    for (; idx[D - 1] < row_end; ++idx[D - 1]) pf(t, idx);
+  };
+}
+
 }  // namespace detail
 
 template <int D, typename... Ts>
@@ -164,13 +175,14 @@ class Stencil {
   void run_loops_checked_everywhere(std::int64_t steps, K&& kernel,
                                     bool parallel = true) {
     const auto pf = make_point_fn(kernel, boundary_factory());
+    const auto ri = detail::point_fn_as_row<D>(pf);
     const auto [t0, t1] = time_range(steps);
     const WalkContext<D> ctx = context();
     if (parallel) {
-      run_loops<D>(ctx, rt::ParallelPolicy{}, t0, t1, pf, pf,
+      run_loops<D>(ctx, rt::ParallelPolicy{}, t0, t1, ri, pf,
                    /*interior_clone=*/false);
     } else {
-      run_loops<D>(ctx, rt::SerialPolicy{}, t0, t1, pf, pf,
+      run_loops<D>(ctx, rt::SerialPolicy{}, t0, t1, ri, pf,
                    /*interior_clone=*/false);
     }
     steps_done_ += steps;
@@ -223,17 +235,14 @@ class Stencil {
     const auto pi = [&ki](std::int64_t t, const std::array<std::int64_t, D>& idx) {
       detail::call_kernel<D>(ki, t, idx);
     };
-    const auto pb = [this, &kb](std::int64_t t,
-                                const std::array<std::int64_t, D>& idx) {
-      std::array<std::int64_t, D> true_idx;
-      for (int i = 0; i < D; ++i) {
-        true_idx[i] = mod_floor(idx[static_cast<std::size_t>(i)],
-                                grid_[static_cast<std::size_t>(i)]);
-      }
-      detail::call_kernel<D>(kb, t, true_idx);
+    const auto pb_raw = [&kb](std::int64_t t,
+                              const std::array<std::int64_t, D>& idx) {
+      detail::call_kernel<D>(kb, t, idx);
     };
-    auto ib = [&pi](const Zoid<D>& z) { for_each_point(z, pi); };
-    auto bb = make_boundary_base(pi, pb);
+    const auto pb = wrap_boundary_point_fn(pb_raw);
+    const auto ri = detail::point_fn_as_row<D>(pi);
+    auto ib = [&ri](const Zoid<D>& z) { for_each_row<D>(z, ri); };
+    auto bb = make_boundary_base(ri, pb);
     if (parallel) {
       run_trap(ctx, rt::ParallelPolicy{}, t0, t1, ib, bb);
     } else {
@@ -251,15 +260,12 @@ class Stencil {
     POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
     const auto [t0, t1] = time_range(steps);
     const WalkContext<D> ctx = context();
-    const auto pb = [this, &boundary_kernel](
-                        std::int64_t t, const std::array<std::int64_t, D>& idx) {
-      std::array<std::int64_t, D> true_idx;
-      for (int i = 0; i < D; ++i) {
-        true_idx[i] = mod_floor(idx[static_cast<std::size_t>(i)],
-                                grid_[static_cast<std::size_t>(i)]);
-      }
-      detail::call_kernel<D>(boundary_kernel, t, true_idx);
+    const auto pb_raw = [&boundary_kernel](
+                            std::int64_t t,
+                            const std::array<std::int64_t, D>& idx) {
+      detail::call_kernel<D>(boundary_kernel, t, idx);
     };
+    const auto pb = wrap_boundary_point_fn(pb_raw);
     auto bb = [&pb](const Zoid<D>& z) { for_each_point(z, pb); };
     if (parallel) {
       run_trap(ctx, rt::ParallelPolicy{}, t0, t1, interior_base, bb);
@@ -288,12 +294,41 @@ class Stencil {
   }
 
  private:
+  /// The standard execution path: interior work runs through row-granular
+  /// views (time-level base pointers hoisted once per unit-stride row, no
+  /// modulo in the inner loop), closing most of the gap to the split-pointer
+  /// base case of LinearStencil.
   template <typename Policy, typename K>
   void run_with(const Policy& pol, Algorithm alg, std::int64_t steps,
                 K& kernel) {
-    run_with_factory(pol, alg, steps, kernel, interior_factory(),
-                     boundary_factory());
+    POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
+    // InteriorRowView caches one base pointer per circular time level in a
+    // fixed-size table; arrays deeper than its capacity take the per-point
+    // path instead of aborting mid-run.
+    std::int64_t max_levels = 0;
+    std::apply(
+        [&](auto*... arrs) {
+          ((max_levels = arrs->time_levels() > max_levels ? arrs->time_levels()
+                                                          : max_levels),
+           ...);
+        },
+        arrays_);
+    if (max_levels > kMaxRowViewTimeLevels) {
+      run_with_factory(pol, alg, steps, kernel, interior_factory(),
+                       boundary_factory());
+      return;
+    }
+    const auto [t0, t1] = time_range(steps);
+    const WalkContext<D> ctx = context();
+    const auto pb_raw = make_point_fn(kernel, boundary_factory());
+    const auto pb = wrap_boundary_point_fn(pb_raw);
+    const auto ri = make_row_fn(kernel, interior_row_factory());
+    dispatch(pol, alg, ctx, t0, t1, ri, pb, /*interior_clone=*/true);
+    steps_done_ += steps;
   }
+
+  static constexpr std::int64_t kMaxRowViewTimeLevels =
+      InteriorRowView<int, D>::kMaxTimeLevels;
 
   static auto interior_factory() {
     return [](auto& a, std::int64_t, const auto&) { return InteriorView(a); };
@@ -301,18 +336,65 @@ class Stencil {
   static auto boundary_factory() {
     return [](auto& a, std::int64_t, const auto&) { return BoundaryView(a); };
   }
+  auto interior_row_factory() const {
+    const std::int64_t home = shape_.home_dt();
+    return [home](auto& a, std::int64_t t, const auto&) {
+      using A = std::remove_reference_t<decltype(a)>;
+      return InteriorRowView<typename A::value_type, D>(a, t, home);
+    };
+  }
+
+  /// Boundary zoids may carry virtual coordinates (seam pieces wrap past
+  /// the grid edge); the kernel is always invoked with true coordinates
+  /// obtained by a modulo computation (§4).
+  template <typename PB>
+  auto wrap_boundary_point_fn(const PB& pb_raw) const {
+    return [this, &pb_raw](std::int64_t t,
+                           const std::array<std::int64_t, D>& idx) {
+      std::array<std::int64_t, D> true_idx;
+      for (int i = 0; i < D; ++i) {
+        true_idx[i] = mod_floor(idx[static_cast<std::size_t>(i)],
+                                grid_[static_cast<std::size_t>(i)]);
+      }
+      pb_raw(t, true_idx);
+    };
+  }
+
+  /// Drives the chosen algorithm with a row-granular interior invoker
+  /// ri(t, idx, row_end) and a per-point boundary functor pb(t, idx).
+  template <typename Policy, typename RI, typename PB>
+  void dispatch(const Policy& pol, Algorithm alg, const WalkContext<D>& ctx,
+                std::int64_t t0, std::int64_t t1, const RI& ri, const PB& pb,
+                bool interior_clone) {
+    auto ib = [&ri](const Zoid<D>& z) { for_each_row<D>(z, ri); };
+    auto bb = make_boundary_base(ri, pb);
+    switch (alg) {
+      case Algorithm::kTrap:
+        run_trap(ctx, pol, t0, t1, ib, bb);
+        break;
+      case Algorithm::kStrap:
+        run_strap(ctx, pol, t0, t1, ib, bb);
+        break;
+      case Algorithm::kLoopsParallel:
+        run_loops<D>(ctx, pol, t0, t1, ri, pb, interior_clone);
+        break;
+      case Algorithm::kLoopsSerial:
+        run_loops<D>(ctx, rt::SerialPolicy{}, t0, t1, ri, pb, interior_clone);
+        break;
+    }
+  }
 
   /// Boundary-zoid base case with row splitting: rows whose outer
   /// coordinates are safely interior run the checked clone only on the
-  /// `reach`-wide flanks and the fast interior clone on the middle — the
-  /// ghost-cell trick applied inside boundary zoids.  This matters most
+  /// `reach`-wide flanks and the fast interior row invoker on the middle —
+  /// the ghost-cell trick applied inside boundary zoids.  This matters most
   /// for the paper's >=3D heuristic, where the unit-stride dimension is
   /// never cut and every zoid spans the full row.
-  template <typename PI, typename PB>
-  auto make_boundary_base(const PI& pi, const PB& pb) const {
+  template <typename RI, typename PB>
+  auto make_boundary_base(const RI& ri, const PB& pb) const {
     const auto& reach = shape_.reaches();
     const auto& grid = grid_;
-    return [&pi, &pb, &reach, &grid](const Zoid<D>& z) {
+    return [&ri, &pb, &reach, &grid](const Zoid<D>& z) {
       for_each_row<D>(z, [&](std::int64_t t, std::array<std::int64_t, D> idx,
                              std::int64_t row_end) {
         bool outer_safe = true;
@@ -338,7 +420,8 @@ class Stencil {
           return;
         }
         for (idx[D - 1] = lo; idx[D - 1] < safe_lo; ++idx[D - 1]) pb(t, idx);
-        for (idx[D - 1] = safe_lo; idx[D - 1] < safe_hi; ++idx[D - 1]) pi(t, idx);
+        idx[D - 1] = safe_lo;
+        ri(t, idx, safe_hi);
         for (idx[D - 1] = safe_hi; idx[D - 1] < row_end; ++idx[D - 1]) pb(t, idx);
       });
     };
@@ -358,6 +441,35 @@ class Stencil {
         arrays_);
   }
 
+  /// Builds a row functor f(t, idx, row_end) that instantiates views ONCE
+  /// per unit-stride row via `factory(array, t, idx)` and invokes the
+  /// kernel for idx[D-1] in [idx[D-1], row_end).  Paired with
+  /// InteriorRowView this hoists the circular-time and row address
+  /// arithmetic out of the inner loop.
+  template <typename K, typename Factory>
+  auto make_row_fn(K& kernel, Factory factory) {
+    return std::apply(
+        [&kernel, factory](auto*... arrs) {
+          return [&kernel, factory, arrs...](std::int64_t t,
+                                             std::array<std::int64_t, D> idx,
+                                             std::int64_t row_end) {
+            // The row views live here for the whole row; kernels receive
+            // pointer-sized handles, so the per-point copy is trivial.
+            const auto views = std::make_tuple(factory(*arrs, t, idx)...);
+            std::apply(
+                [&](const auto&... v) {
+                  for (; idx[D - 1] < row_end; ++idx[D - 1]) {
+                    detail::call_kernel<D>(kernel, t, idx, v.handle()...);
+                  }
+                },
+                views);
+          };
+        },
+        arrays_);
+  }
+
+  /// Per-point-view execution used by the traced and shape-checked paths,
+  /// whose view factories depend on the individual home point.
   template <typename Policy, typename K, typename FI, typename FB>
   void run_with_factory(const Policy& pol, Algorithm alg, std::int64_t steps,
                         K& kernel, FI interior_fac, FB boundary_fac) {
@@ -366,35 +478,9 @@ class Stencil {
     const WalkContext<D> ctx = context();
     const auto pi = make_point_fn(kernel, interior_fac);
     const auto pb_raw = make_point_fn(kernel, boundary_fac);
-    // Boundary zoids may carry virtual coordinates (seam pieces wrap past
-    // the grid edge); the kernel is always invoked with true coordinates
-    // obtained by a modulo computation (§4).
-    const auto pb = [this, &pb_raw](std::int64_t t,
-                                    const std::array<std::int64_t, D>& idx) {
-      std::array<std::int64_t, D> true_idx;
-      for (int i = 0; i < D; ++i) {
-        true_idx[i] = mod_floor(idx[static_cast<std::size_t>(i)],
-                                grid_[static_cast<std::size_t>(i)]);
-      }
-      pb_raw(t, true_idx);
-    };
-    auto ib = [&pi](const Zoid<D>& z) { for_each_point(z, pi); };
-    auto bb = make_boundary_base(pi, pb);
-    switch (alg) {
-      case Algorithm::kTrap:
-        run_trap(ctx, pol, t0, t1, ib, bb);
-        break;
-      case Algorithm::kStrap:
-        run_strap(ctx, pol, t0, t1, ib, bb);
-        break;
-      case Algorithm::kLoopsParallel:
-        run_loops<D>(ctx, pol, t0, t1, pi, pb, /*interior_clone=*/true);
-        break;
-      case Algorithm::kLoopsSerial:
-        run_loops<D>(ctx, rt::SerialPolicy{}, t0, t1, pi, pb,
-                     /*interior_clone=*/true);
-        break;
-    }
+    const auto pb = wrap_boundary_point_fn(pb_raw);
+    const auto ri = detail::point_fn_as_row<D>(pi);
+    dispatch(pol, alg, ctx, t0, t1, ri, pb, /*interior_clone=*/true);
     steps_done_ += steps;
   }
 

@@ -8,6 +8,10 @@
 // versus TRAP's k+1, which is the whole asymptotic difference analyzed in
 // Theorems 3 and 5.  Both algorithms perform identical time cuts, hence
 // identical cache behaviour.
+//
+// Like TrapWalker, the recursion is allocation-free: the DimCut pieces live
+// in the walker's frame and parallel forks use stack-resident tasks
+// (rt::parallel_invoke), so no recursion node touches the heap.
 #pragma once
 
 #include <cstdint>

@@ -49,16 +49,19 @@ class TrapWalker {
     const HyperCut<D> plan =
         plan_hyperspace_cut(z, ctx_.sigma, ctx_.dx_threshold, ctx_.grid);
     if (!plan.empty()) {
-      auto levels = collect_subzoids_by_level(z, plan);
-      for (const auto& bucket : levels) {
-        if (bucket.size() == 1) {
-          walk_impl(bucket.front(), interior);
+      // Stack-resident buckets: the recursion node performs no heap
+      // allocation (SubzoidLevels has compile-time capacity 3^D x (D+1)).
+      SubzoidLevels<D> levels;
+      collect_subzoids_by_level(z, plan, levels);
+      for (int l = 0; l < levels.level_count; ++l) {
+        const int n = levels.size(l);
+        if (n == 0) continue;
+        if (n == 1) {
+          walk_impl(levels.at(l, 0), interior);
         } else {
-          policy_.for_all(static_cast<std::int64_t>(bucket.size()),
-                          [&](std::int64_t i) {
-                            walk_impl(bucket[static_cast<std::size_t>(i)],
-                                      interior);
-                          });
+          policy_.for_all(n, [&](std::int64_t i) {
+            walk_impl(levels.at(l, static_cast<int>(i)), interior);
+          });
         }
       }
       return;

@@ -65,6 +65,116 @@ class InteriorView {
   Array<T, D>* a_;
 };
 
+/// Unchecked view with row-granularity address hoisting: the interior
+/// clone's access path used by the row-walking base case.  Constructed once
+/// per unit-stride row, it resolves the circular-time-level base pointer of
+/// every dt the shape can reach ONCE (one mod_floor per level per row), so
+/// each access in the inner loop is a table lookup plus a linear offset the
+/// compiler strength-reduces — the library analogue of the hoisted pointers
+/// in the compiler's -split-pointer postsource (Figure 12(c)).
+///
+/// `home_dt` anchors the reachable window: a kernel invoked at time t only
+/// touches t+dt for dt in [home_dt - depth, home_dt] (shape rule: reads are
+/// strictly earlier than the written cell), i.e. exactly time_levels()
+/// distinct absolute times.
+template <typename T, int D>
+class InteriorRowView {
+ public:
+  static constexpr std::int64_t kMaxTimeLevels = 16;
+
+  InteriorRowView(Array<T, D>& a, std::int64_t t_row, std::int64_t home_dt)
+      : a_(&a),
+        t_lo_(t_row + home_dt - a.time_levels() + 1),
+        levels_(a.time_levels()) {
+    POCHOIR_ASSERT(levels_ <= kMaxTimeLevels);
+    T* const base = a.data();
+    const std::int64_t ls = a.level_size();
+    for (std::int64_t k = 0; k < levels_; ++k) {
+      level_base_[static_cast<std::size_t>(k)] =
+          base + mod_floor(t_lo_ + k, levels_) * ls;
+    }
+    for (int i = 0; i < D; ++i) strides_[static_cast<std::size_t>(i)] = a.stride(i);
+  }
+
+  /// Pointer-sized proxy handed to kernels.  Kernels take views by value
+  /// per invocation; copying the full row view (its level-pointer table is
+  /// past the scalarization threshold) per point would drown the win, so
+  /// the kernel-facing object is one pointer into the row-lifetime view.
+  class Handle {
+   public:
+    explicit Handle(const InteriorRowView* v) : v_(v) {}
+
+    template <typename... Idx>
+    [[nodiscard]] T& operator()(std::int64_t t, Idx... i) const {
+      return (*v_)(t, i...);
+    }
+    template <typename... Idx>
+    [[nodiscard]] T read(std::int64_t t, Idx... i) const {
+      return v_->read(t, i...);
+    }
+    template <typename... Rest>
+    void write(std::int64_t t, Rest... rest) const {
+      v_->write(t, rest...);
+    }
+    [[nodiscard]] Array<T, D>& array() const { return v_->array(); }
+
+   private:
+    const InteriorRowView* v_;
+  };
+
+  [[nodiscard]] Handle handle() const { return Handle(this); }
+
+  template <typename... Idx>
+  [[nodiscard]] T& operator()(std::int64_t t, Idx... i) const {
+    static_assert(sizeof...(Idx) == D);
+    return *(level_ptr(t) +
+             spatial_offset(std::array<std::int64_t, D>{
+                 static_cast<std::int64_t>(i)...}));
+  }
+
+  template <typename... Idx>
+  [[nodiscard]] T read(std::int64_t t, Idx... i) const {
+    return operator()(t, i...);
+  }
+
+  /// write(t, idx..., value)
+  template <typename... Rest>
+  void write(std::int64_t t, Rest... rest) const {
+    write_impl(t, std::make_index_sequence<sizeof...(Rest) - 1>{}, rest...);
+  }
+
+  [[nodiscard]] Array<T, D>& array() const { return *a_; }
+
+ private:
+  [[nodiscard]] T* level_ptr(std::int64_t t) const {
+    POCHOIR_DEBUG_ASSERT(t >= t_lo_ && t < t_lo_ + levels_);
+    return level_base_[static_cast<std::size_t>(t - t_lo_)];
+  }
+
+  [[nodiscard]] std::int64_t spatial_offset(
+      const std::array<std::int64_t, D>& idx) const {
+    std::int64_t off = 0;
+    for (int i = 0; i < D; ++i) {
+      off += idx[static_cast<std::size_t>(i)] * strides_[static_cast<std::size_t>(i)];
+    }
+    return off;
+  }
+
+  template <std::size_t... Is, typename... Rest>
+  void write_impl(std::int64_t t, std::index_sequence<Is...>, Rest... rest) const {
+    auto tuple = std::forward_as_tuple(rest...);
+    std::array<std::int64_t, D> idx{
+        static_cast<std::int64_t>(std::get<Is>(tuple))...};
+    *(level_ptr(t) + spatial_offset(idx)) = std::get<sizeof...(Rest) - 1>(tuple);
+  }
+
+  Array<T, D>* a_;
+  std::int64_t t_lo_;
+  std::int64_t levels_;
+  std::array<T*, kMaxTimeLevels> level_base_{};
+  std::array<std::int64_t, D> strides_{};
+};
+
 /// Checked view: the boundary clone's access path.  Reads route off-domain
 /// coordinates to the boundary function; writes always target the home
 /// point, which the walker guarantees is in-domain.

@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <optional>
 #include <type_traits>
-#include <vector>
 
 #include "geometry/zoid.hpp"
 #include "support/assertion.hpp"
@@ -219,18 +218,87 @@ void for_each_subzoid(const Zoid<D>& z, const HyperCut<D>& plan, F&& f) {
   }
 }
 
-/// Collects the subzoids of a hyperspace cut bucketed by dependency level.
-/// Buckets must be processed in order; zoids within a bucket in parallel.
+/// The subzoids of one hyperspace cut, grouped by dependency level, in a
+/// fixed-capacity stack-resident structure: a hyperspace cut of a D-zoid
+/// yields at most 3^D subzoids across at most D+1 levels (Lemma 1), both
+/// compile-time constants, so the walker never touches the heap while
+/// recursing.  Buckets must be processed in order; zoids within a bucket
+/// are mutually independent.
 template <int D>
-std::vector<std::vector<Zoid<D>>> collect_subzoids_by_level(
-    const Zoid<D>& z, const HyperCut<D>& plan) {
-  std::vector<std::vector<Zoid<D>>> levels(
-      static_cast<std::size_t>(plan.level_count()));
+struct SubzoidLevels {
+  static constexpr int kMaxSubzoids = static_cast<int>(ipow(3, D));
+  static constexpr int kMaxLevels = D + 1;
+
+  std::array<Zoid<D>, kMaxSubzoids> zoids;      ///< grouped by level
+  std::array<int, kMaxLevels + 1> offset{};     ///< bucket l = [offset[l], offset[l+1])
+  int level_count = 0;
+
+  [[nodiscard]] int size(int level) const {
+    return offset[static_cast<std::size_t>(level + 1)] -
+           offset[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] const Zoid<D>& at(int level, int i) const {
+    return zoids[static_cast<std::size_t>(
+        offset[static_cast<std::size_t>(level)] + i)];
+  }
+  [[nodiscard]] int total() const {
+    return offset[static_cast<std::size_t>(level_count)];
+  }
+};
+
+/// Collects the subzoids of a hyperspace cut into `out`, bucketed by
+/// dependency level, without allocating.  The per-level counts are the
+/// convolution of the per-dimension histograms (each cut dimension
+/// contributes its non-degenerate pieces at level bit 0 or 1; a subzoid is
+/// degenerate iff any of its pieces is), so sizing the buckets costs
+/// O(D^2) and the geometry is enumerated exactly once.
+template <int D>
+void collect_subzoids_by_level(const Zoid<D>& z, const HyperCut<D>& plan,
+                               SubzoidLevels<D>& out) {
+  std::array<int, SubzoidLevels<D>::kMaxLevels> counts{};
+  counts[0] = 1;
+  int span = 0;
+  for (int i = 0; i < D; ++i) {
+    if (!plan.dims[static_cast<std::size_t>(i)].has_value()) continue;
+    const DimCut& cut = *plan.dims[static_cast<std::size_t>(i)];
+    int valid[2] = {0, 0};
+    for (int j = 0; j < cut.count; ++j) {
+      if (cut.piece[static_cast<std::size_t>(j)].x1 <
+          cut.piece[static_cast<std::size_t>(j)].x0) {
+        continue;  // degenerate piece: every combination using it is skipped
+      }
+      ++valid[cut.level_bit[static_cast<std::size_t>(j)]];
+    }
+    for (int l = span + 1; l >= 0; --l) {
+      counts[static_cast<std::size_t>(l)] =
+          counts[static_cast<std::size_t>(l)] * valid[0] +
+          (l > 0 ? counts[static_cast<std::size_t>(l - 1)] * valid[1] : 0);
+    }
+    span += cut.level_span();
+  }
+
+  out.level_count = plan.level_count();
+  POCHOIR_ASSERT(out.level_count <= SubzoidLevels<D>::kMaxLevels);
+  out.offset[0] = 0;
+  for (int l = 0; l < out.level_count; ++l) {
+    out.offset[static_cast<std::size_t>(l + 1)] =
+        out.offset[static_cast<std::size_t>(l)] +
+        counts[static_cast<std::size_t>(l)];
+  }
+
+  std::array<int, SubzoidLevels<D>::kMaxLevels> cursor{};
+  for (int l = 0; l < out.level_count; ++l) {
+    cursor[static_cast<std::size_t>(l)] = out.offset[static_cast<std::size_t>(l)];
+  }
   for_each_subzoid(z, plan, [&](const Zoid<D>& sub, int level) {
-    POCHOIR_ASSERT(level < static_cast<int>(levels.size()));
-    levels[static_cast<std::size_t>(level)].push_back(sub);
+    POCHOIR_ASSERT(level < out.level_count);
+    out.zoids[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(level)]++)] = sub;
   });
-  return levels;
+  for (int l = 0; l < out.level_count; ++l) {
+    POCHOIR_ASSERT(cursor[static_cast<std::size_t>(l)] ==
+                   out.offset[static_cast<std::size_t>(l + 1)]);
+  }
 }
 
 /// Splits `z` across the middle of its time dimension (Figure 7(c)); the

@@ -45,7 +45,10 @@ std::atomic<int> Scheduler::requested_threads_{0};
 void Task::run_and_release() {
   invoke();
   TaskGroup* group = group_;
-  delete this;
+  // finish_one() must come last: for stack-resident tasks it is the signal
+  // that lets the spawning frame's wait() return and reclaim the storage,
+  // so `this` must not be touched afterwards.
+  if (heap_allocated_) delete this;
   if (group != nullptr) group->finish_one();
 }
 

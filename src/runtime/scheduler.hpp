@@ -29,30 +29,39 @@ namespace pochoir::rt {
 
 class TaskGroup;
 
-/// Type-erased unit of work.  Tasks are heap-allocated at spawn and deleted
-/// by whichever thread executes them.
+/// Type-erased unit of work.  Heap-allocated tasks (TaskGroup::spawn) are
+/// deleted by whichever thread executes them; stack-resident tasks
+/// (TaskGroup::spawn_prepared) are owned by the spawning frame, which must
+/// wait() on the group before the storage goes out of scope.
 class Task {
  public:
-  explicit Task(TaskGroup* group) : group_(group) {}
+  explicit Task(TaskGroup* group, bool heap_allocated = true)
+      : group_(group), heap_allocated_(heap_allocated) {}
   virtual ~Task() = default;
-  /// Runs the payload, notifies the owning group, and deletes this.
+  /// Runs the payload, releases heap storage, and notifies the owning
+  /// group.  `this` is dead after the call either way: deleted if
+  /// heap-allocated, or up for reclamation by the spawning frame the
+  /// moment finish_one() lets its wait() return.
   void run_and_release();
 
  protected:
   virtual void invoke() = 0;
+  void set_group(TaskGroup* group) { group_ = group; }
 
  private:
   TaskGroup* group_;
+  bool heap_allocated_;
 };
 
 namespace detail {
 
-#if defined(__GNUC__) && !defined(__clang__)
+#if defined(__GNUC__) || defined(__clang__)
 // Force full inlining of the task payload.  The payload is typically a deep
 // chain of closures (loop splitter -> slab body -> point function -> user
 // kernel -> views); without flattening, the inliner's budget runs out
 // inside this cold-looking virtual function and the innermost stencil loop
-// is left scalar, costing ~5-10x on memory-streaming kernels.
+// is left scalar, costing ~5-10x on memory-streaming kernels.  Clang has no
+// clang:: spelling for flatten; it accepts the GNU one.
 #define POCHOIR_FLATTEN [[gnu::flatten]]
 #else
 #define POCHOIR_FLATTEN
@@ -144,6 +153,14 @@ class TaskGroup {
   void spawn(F&& f) {
     pending_.fetch_add(1, std::memory_order_relaxed);
     auto* task = new detail::TaskImpl<std::decay_t<F>>(this, std::forward<F>(f));
+    Scheduler::instance().submit(task);
+  }
+
+  /// Fork a pre-constructed task whose storage outlives this group's
+  /// wait() — e.g. a stack-resident task built with heap_allocated=false.
+  /// The hot-path alternative to spawn(): no heap traffic per fork.
+  void spawn_prepared(Task* task) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
     Scheduler::instance().submit(task);
   }
 
