@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "runtime/scheduler.hpp"
+#include "support/atomic_file.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -77,25 +78,33 @@ class JsonReport {
       if (std::string(env) == "off") return;
       path = env;
     }
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return;
-    std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      const Record& r = records_[i];
-      std::fprintf(f,
-                   "  {\"bench\": \"%s\", \"kernel\": \"%s\", \"grid\": "
-                   "\"%s\", \"steps\": %lld, \"config\": \"%s\", "
-                   "\"threads\": %d, \"scale\": %.3f, \"seconds\": %.6f, "
-                   "\"mpoints_per_s\": %.3f}%s\n",
-                   bench_.c_str(), r.kernel.c_str(), r.grid.c_str(),
-                   static_cast<long long>(r.steps), r.config.c_str(),
-                   rt::Scheduler::instance().num_threads(), scale(),
-                   r.seconds, r.mpoints, i + 1 < records_.size() ? "," : "");
+    // Temp-then-rename so a crash (or a kill) mid-report never truncates a
+    // previously good BENCH_*.json tracked across PRs.
+    const auto result = io::atomic_write_file(path, [&](std::FILE* f) {
+      if (std::fprintf(f, "[\n") < 0) return false;
+      for (std::size_t i = 0; i < records_.size(); ++i) {
+        const Record& r = records_[i];
+        const int n = std::fprintf(
+            f,
+            "  {\"bench\": \"%s\", \"kernel\": \"%s\", \"grid\": "
+            "\"%s\", \"steps\": %lld, \"config\": \"%s\", "
+            "\"threads\": %d, \"scale\": %.3f, \"seconds\": %.6f, "
+            "\"mpoints_per_s\": %.3f}%s\n",
+            bench_.c_str(), r.kernel.c_str(), r.grid.c_str(),
+            static_cast<long long>(r.steps), r.config.c_str(),
+            rt::Scheduler::instance().num_threads(), scale(), r.seconds,
+            r.mpoints, i + 1 < records_.size() ? "," : "");
+        if (n < 0) return false;
+      }
+      return std::fprintf(f, "]\n") >= 0;
+    });
+    if (result.ok) {
+      std::fprintf(stderr, "bench: wrote %zu records to %s\n", records_.size(),
+                   path.c_str());
+    } else {
+      std::fprintf(stderr, "bench: FAILED to write %s: %s\n", path.c_str(),
+                   result.error.c_str());
     }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
-    std::fprintf(stderr, "bench: wrote %zu records to %s\n", records_.size(),
-                 path.c_str());
   }
 
  private:

@@ -8,6 +8,8 @@
 // Tuning:       Options<D>, autotune_coarsening
 // Fast path:    LinearStencil<T,D> (split-pointer base cases)
 // Analysis:     analyze_trap/analyze_strap/analyze_loops, CacheSim
+// Resilience:   Stencil::run_supervised/resume, RunReport, SupervisorOptions,
+//               CancelToken, FaultPlan, pochoir::Error
 // DSL veneer:   <pochoir/dsl.hpp> (the paper's Figure 6 macro syntax)
 #pragma once
 
@@ -26,5 +28,12 @@
 #include "core/views.hpp"
 #include "geometry/cuts.hpp"
 #include "geometry/zoid.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault_injection.hpp"
+#include "resilience/health.hpp"
+#include "resilience/supervisor.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/scheduler.hpp"
+#include "support/atomic_file.hpp"
+#include "support/cancellation.hpp"
+#include "support/error.hpp"

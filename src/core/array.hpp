@@ -23,6 +23,7 @@
 
 #include "support/aligned_buffer.hpp"
 #include "support/assertion.hpp"
+#include "support/error.hpp"
 #include "support/math_util.hpp"
 
 namespace pochoir {
@@ -56,13 +57,15 @@ class Array {
 
   /// Creates a grid with the given spatial extents and temporal depth
   /// (depth+1 circular time levels; depth must match the stencil shape).
+  /// Constructor misuse (non-positive extents or depth) throws
+  /// pochoir::Error — it is user input, not an internal invariant.
   explicit Array(std::array<std::int64_t, D> extents, std::int64_t depth = 1)
       : extents_(extents), levels_(depth + 1) {
-    POCHOIR_ASSERT(depth >= 1);
+    detail::check_usage(depth >= 1, "array temporal depth must be >= 1");
     std::int64_t stride = 1;
     for (int i = D - 1; i >= 0; --i) {
-      POCHOIR_ASSERT_MSG(extents_[static_cast<std::size_t>(i)] >= 1,
-                         "array extents must be positive");
+      detail::check_usage(extents_[static_cast<std::size_t>(i)] >= 1,
+                          "array extents must be positive");
       strides_[static_cast<std::size_t>(i)] = stride;
       stride *= extents_[static_cast<std::size_t>(i)];
     }
@@ -234,8 +237,8 @@ class Array {
  private:
   static std::array<std::int64_t, D> to_extents(
       std::initializer_list<std::int64_t> list) {
-    POCHOIR_ASSERT_MSG(list.size() == static_cast<std::size_t>(D),
-                       "extent count must equal the dimensionality");
+    detail::check_usage(list.size() == static_cast<std::size_t>(D),
+                        "extent count must equal the dimensionality");
     std::array<std::int64_t, D> out{};
     std::size_t i = 0;
     for (std::int64_t v : list) out[i++] = v;

@@ -100,6 +100,9 @@ void run_loops(const WalkContext<D>& ctx, const Policy& policy,
   const auto& grid = ctx.grid;
   const auto& reach = ctx.reach;
   for (std::int64_t t = t0; t < t1; ++t) {
+    // Cancellation unwinds between whole time steps; the loops engine has
+    // no finer consistent boundary.
+    if (ctx.should_stop()) return;
     if constexpr (D == 1) {
       detail::loops_time_step_1d(policy, t, grid[0], reach[0], ri, kb,
                                  interior_clone);

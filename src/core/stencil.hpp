@@ -15,12 +15,25 @@
 // instantiates it against InteriorView and BoundaryView to obtain the two
 // clones of §4, then drives TRAP (default), STRAP, or the loop baselines.
 // run() is resumable: a second run(T') continues from step T, as in §2.
+//
+// For long-running jobs, run_supervised() executes the same computation in
+// time slabs under the resilience layer (resilience/supervisor.hpp):
+// checksummed on-disk checkpoints, cooperative cancellation/deadlines,
+// numerical health scans, and serial-engine degradation, reported through
+// a structured RunReport instead of aborts.  resume() restores the newest
+// valid checkpoint and finishes the interrupted run.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
 #include <tuple>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "core/array.hpp"
 #include "core/loops.hpp"
@@ -30,8 +43,13 @@
 #include "core/trap.hpp"
 #include "core/views.hpp"
 #include "core/walk_context.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/health.hpp"
+#include "resilience/supervisor.hpp"
 #include "runtime/parallel.hpp"
 #include "support/assertion.hpp"
+#include "support/cancellation.hpp"
+#include "support/error.hpp"
 
 namespace pochoir {
 
@@ -86,16 +104,21 @@ class Stencil {
 
   /// Registers the participating arrays, in the order the kernel receives
   /// its views.  Arrays must share extents and have >= depth+1 time levels.
+  /// Misuse throws pochoir::Error (user input, not an internal invariant).
   void register_arrays(Array<Ts, D>&... arrays) {
-    arrays_ = std::make_tuple(&arrays...);
-    grid_ = std::get<0>(arrays_)->extents();
+    auto tentative = std::make_tuple(&arrays...);
+    const auto grid = std::get<0>(tentative)->extents();
     auto check = [&](const auto& a) {
-      POCHOIR_ASSERT_MSG(a.extents() == grid_,
-                         "all registered arrays must share extents");
-      POCHOIR_ASSERT_MSG(a.time_levels() >= shape_.depth() + 1,
-                         "array has fewer time levels than the shape's depth");
+      detail::check_usage(a.extents() == grid,
+                          "all registered arrays must share extents");
+      detail::check_usage(
+          a.time_levels() >= shape_.depth() + 1,
+          "array has fewer time levels than the shape's depth requires "
+          "(construct the array with depth >= shape.depth())");
     };
     (check(arrays), ...);
+    arrays_ = tentative;
+    grid_ = grid;
     registered_ = true;
   }
 
@@ -133,9 +156,18 @@ class Stencil {
 
   /// Walk parameters derived from the shape, grid and current options.
   [[nodiscard]] WalkContext<D> context() const {
-    POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
-    return WalkContext<D>::make(shape_, grid_, opts_);
+    detail::check_usage(registered_,
+                        "register_arrays must be called before running");
+    WalkContext<D> ctx = WalkContext<D>::make(shape_, grid_, opts_);
+    ctx.cancel = cancel_;
+    return ctx;
   }
+
+  /// Installs a cancellation token polled by every run path (TRAP/STRAP at
+  /// zoid granularity, loops per time step); nullptr removes it.  A run
+  /// interrupted this way may leave arrays mid-step — use run_supervised()
+  /// when consistency at a slab boundary is required.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
 
   // --- execution -----------------------------------------------------------
 
@@ -169,11 +201,79 @@ class Stencil {
     run_with(rt::SerialPolicy{}, alg, steps, kernel);
   }
 
+  // --- supervised execution (resilience layer) -----------------------------
+
+  /// Runs `steps` in time slabs under the supervisor: slab checkpoints,
+  /// cooperative cancellation/deadline, numerical health scans, and
+  /// graceful degradation to the serial loops engine.  Never aborts on a
+  /// recoverable failure; the outcome is the returned RunReport.  With the
+  /// default options (no slabbing, no checkpoint path) this is a thin
+  /// wrapper over run() with near-zero overhead.
+  template <typename K>
+  resilience::RunReport run_supervised(
+      std::int64_t steps, K&& kernel,
+      const resilience::SupervisorOptions& opts = {}) {
+    validate_run(steps);
+    if (opts.faults != nullptr && opts.faults->wants_kernel_hook()) {
+      // Route every kernel invocation through the fault plan so task
+      // failures and mid-slab cancellations fire at deterministic sites.
+      auto* plan = opts.faults;
+      auto hooked = [plan, &kernel](auto&&... args)
+        requires std::is_invocable_v<std::remove_reference_t<K>&,
+                                     decltype(args)...>
+      {
+        plan->on_kernel_call();
+        kernel(std::forward<decltype(args)>(args)...);
+      };
+      return run_supervised_impl(steps, hooked, opts);
+    }
+    return run_supervised_impl(steps, kernel, opts);
+  }
+
+  /// Restores the newest valid checkpoint generation under
+  /// `opts.checkpoint_path` (corrupt or truncated snapshots are skipped in
+  /// favour of older ones) and finishes the interrupted run.  Returns a
+  /// kCheckpointError report when no usable snapshot exists or its layout
+  /// does not match the registered arrays.
+  template <typename K>
+  resilience::RunReport resume(K&& kernel,
+                               const resilience::SupervisorOptions& opts) {
+    namespace rs = resilience;
+    detail::check_usage(registered_,
+                        "register_arrays must be called before resume");
+    detail::check_usage(!opts.checkpoint_path.empty(),
+                        "resume needs SupervisorOptions::checkpoint_path");
+    rs::RunReport rep;
+    rep.resumed = true;
+    auto loaded = rs::load_latest_checkpoint(opts.checkpoint_path);
+    if (!loaded) {
+      rep.status = rs::RunStatus::kCheckpointError;
+      rep.message = "no valid checkpoint found at " + opts.checkpoint_path;
+      return rep;
+    }
+    std::string err = restore_from_checkpoint(*loaded);
+    if (!err.empty()) {
+      rep.status = rs::RunStatus::kCheckpointError;
+      rep.message = loaded->file + ": " + err;
+      return rep;
+    }
+    const std::int64_t remaining =
+        loaded->meta.steps_target - loaded->meta.steps_done;
+    if (remaining <= 0) {
+      rep.message = "checkpoint already holds the full run";
+      return rep;
+    }
+    rs::RunReport sub = run_supervised(remaining, std::forward<K>(kernel), opts);
+    sub.resumed = true;
+    return sub;
+  }
+
   /// Loop baseline with every access checked (no interior clone): the §4
   /// "modulo on every array index" ablation.
   template <typename K>
   void run_loops_checked_everywhere(std::int64_t steps, K&& kernel,
                                     bool parallel = true) {
+    validate_run(steps);
     const auto pf = make_point_fn(kernel, boundary_factory());
     const auto ri = detail::point_fn_as_row<D>(pf);
     const auto [t0, t1] = time_range(steps);
@@ -217,6 +317,7 @@ class Stencil {
   template <typename Policy, typename IB, typename BB>
   void run_custom_base(const Policy& pol, std::int64_t steps, IB&& ib,
                        BB&& bb) {
+    validate_run(steps);
     const auto [t0, t1] = time_range(steps);
     const WalkContext<D> ctx = context();
     run_trap(ctx, pol, t0, t1, ib, bb);
@@ -229,7 +330,7 @@ class Stencil {
   /// unchecked ones (Figure 12(b)).
   template <typename KI, typename KB>
   void run_cloned(std::int64_t steps, KI&& ki, KB&& kb, bool parallel = true) {
-    POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
+    validate_run(steps);
     const auto [t0, t1] = time_range(steps);
     const WalkContext<D> ctx = context();
     const auto pi = [&ki](std::int64_t t, const std::array<std::int64_t, D>& idx) {
@@ -257,7 +358,7 @@ class Stencil {
   template <typename IB, typename KB>
   void run_split(std::int64_t steps, IB&& interior_base, KB&& boundary_kernel,
                  bool parallel = true) {
-    POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
+    validate_run(steps);
     const auto [t0, t1] = time_range(steps);
     const WalkContext<D> ctx = context();
     const auto pb_raw = [&boundary_kernel](
@@ -294,6 +395,247 @@ class Stencil {
   }
 
  private:
+  /// User-input checks shared by every run entry point; throws
+  /// pochoir::Error (misuse), never aborts (reserved for internal bugs).
+  void validate_run(std::int64_t steps) const {
+    detail::check_usage(registered_,
+                        "register_arrays must be called before running");
+    detail::check_usage(steps > 0, "step count must be positive");
+  }
+
+  // --- resilience glue -----------------------------------------------------
+
+  /// Installs a token for the duration of one supervised run, restoring
+  /// whatever set_cancel_token() had put there on exit.
+  class CancelTokenScope {
+   public:
+    CancelTokenScope(Stencil& s, const CancelToken* token)
+        : s_(s), prev_(s.cancel_) {
+      if (token != nullptr) s_.cancel_ = token;
+    }
+    ~CancelTokenScope() { s_.cancel_ = prev_; }
+    CancelTokenScope(const CancelTokenScope&) = delete;
+    CancelTokenScope& operator=(const CancelTokenScope&) = delete;
+
+   private:
+    Stencil& s_;
+    const CancelToken* prev_;
+  };
+
+  /// In-memory slab-boundary snapshot: raw bytes of every registered array
+  /// (all circular time levels) plus the step counter.
+  struct RestorePoint {
+    std::int64_t steps_done = 0;
+    std::array<std::vector<unsigned char>, sizeof...(Ts)> bytes;
+  };
+
+  void capture_restore_point(RestorePoint& rp) const {
+    rp.steps_done = steps_done_;
+    std::size_t i = 0;
+    std::apply(
+        [&](auto*... arrs) {
+          auto one = [&](const auto& a) {
+            const std::size_t n = array_bytes(a);
+            rp.bytes[i].resize(n);
+            std::memcpy(rp.bytes[i].data(), a.data(), n);
+            ++i;
+          };
+          (one(*arrs), ...);
+        },
+        arrays_);
+  }
+
+  void apply_restore_point(const RestorePoint& rp) {
+    steps_done_ = rp.steps_done;
+    std::size_t i = 0;
+    std::apply(
+        [&](auto*... arrs) {
+          auto one = [&](auto& a) {
+            std::memcpy(a.data(), rp.bytes[i].data(), rp.bytes[i].size());
+            ++i;
+          };
+          (one(*arrs), ...);
+        },
+        arrays_);
+  }
+
+  template <typename T>
+  static std::size_t array_bytes(const Array<T, D>& a) {
+    return static_cast<std::size_t>(a.total_size()) * sizeof(T);
+  }
+
+  template <typename T>
+  static resilience::ArraySnapshot make_snapshot(const Array<T, D>& a) {
+    resilience::ArraySnapshot s;
+    s.dims = static_cast<std::uint32_t>(D);
+    s.elem_size = static_cast<std::uint32_t>(sizeof(T));
+    s.levels = a.time_levels();
+    s.level_size = a.level_size();
+    s.extents.assign(a.extents().begin(), a.extents().end());
+    s.data = reinterpret_cast<const unsigned char*>(a.data());
+    s.bytes = static_cast<std::uint64_t>(array_bytes(a));
+    return s;
+  }
+
+  [[nodiscard]] std::vector<resilience::ArraySnapshot> array_snapshots() const {
+    std::vector<resilience::ArraySnapshot> out;
+    out.reserve(sizeof...(Ts));
+    std::apply(
+        [&](auto*... arrs) { (out.push_back(make_snapshot(*arrs)), ...); },
+        arrays_);
+    return out;
+  }
+
+  template <typename T>
+  std::string validate_loaded(const Array<T, D>& a,
+                              const resilience::LoadedArray& la,
+                              std::size_t index) const {
+    auto fail = [&](const char* what) {
+      return "array " + std::to_string(index) + ": " + what;
+    };
+    if (la.dims != static_cast<std::uint32_t>(D)) {
+      return fail("dimensionality mismatch");
+    }
+    if (la.elem_size != sizeof(T)) return fail("element size mismatch");
+    if (la.levels != a.time_levels()) return fail("time-level count mismatch");
+    if (la.level_size != a.level_size()) return fail("level size mismatch");
+    const std::vector<std::int64_t> ext(a.extents().begin(),
+                                        a.extents().end());
+    if (la.extents != ext) return fail("extents mismatch");
+    if (la.bytes.size() != array_bytes(a)) return fail("payload size mismatch");
+    return {};
+  }
+
+  /// Restores arrays + step counter from a verified checkpoint.  Two-pass:
+  /// every array's layout is validated against the snapshot before any
+  /// byte is copied, so a mismatch never leaves a partial restore.
+  /// Returns "" on success, else a description of the mismatch.
+  std::string restore_from_checkpoint(const resilience::LoadedCheckpoint& ck) {
+    if (ck.arrays.size() != sizeof...(Ts)) {
+      return "checkpoint holds " + std::to_string(ck.arrays.size()) +
+             " arrays, this stencil registers " + std::to_string(sizeof...(Ts));
+    }
+    std::string err;
+    std::size_t i = 0;
+    std::apply(
+        [&](auto*... arrs) {
+          auto check = [&](const auto& a) {
+            if (err.empty()) err = validate_loaded(a, ck.arrays[i], i);
+            ++i;
+          };
+          (check(*arrs), ...);
+        },
+        arrays_);
+    if (!err.empty()) return err;
+    i = 0;
+    std::apply(
+        [&](auto*... arrs) {
+          auto copy = [&](auto& a) {
+            std::memcpy(a.data(), ck.arrays[i].bytes.data(),
+                        ck.arrays[i].bytes.size());
+            ++i;
+          };
+          (copy(*arrs), ...);
+        },
+        arrays_);
+    steps_done_ = ck.meta.steps_done;
+    return {};
+  }
+
+  /// "" when every registered array is finite and bounded, else the first
+  /// issue found.
+  [[nodiscard]] std::string health_scan(double limit) const {
+    resilience::HealthIssue issue;
+    int i = 0;
+    std::apply(
+        [&](auto*... arrs) {
+          ((resilience::scan_array(*arrs, limit, i, issue), ++i), ...);
+        },
+        arrays_);
+    return issue.found ? issue.message : std::string{};
+  }
+
+  /// FaultPlan::poison_after_slab target: plants a quiet NaN in the first
+  /// registered array's storage (no-op for non-floating-point cells).
+  void poison_first_array(std::int64_t flat_index) {
+    auto& a = *std::get<0>(arrays_);
+    using T = typename std::remove_reference_t<decltype(a)>::value_type;
+    if constexpr (std::is_floating_point_v<T>) {
+      const std::int64_t n = a.total_size();
+      if (n > 0) {
+        const std::int64_t at =
+            flat_index >= 0 && flat_index < n ? flat_index : 0;
+        a.data()[at] = std::numeric_limits<T>::quiet_NaN();
+      }
+    } else {
+      (void)flat_index;
+    }
+  }
+
+  template <typename K>
+  resilience::RunReport run_supervised_impl(
+      std::int64_t steps, K& kernel, const resilience::SupervisorOptions& opts) {
+    namespace rs = resilience;
+    CancelToken internal_token;
+    CancelToken* token = opts.cancel;
+    if (token == nullptr &&
+        (opts.deadline_ms >= 0 ||
+         (opts.faults != nullptr && opts.faults->cancel_at_slab >= 0))) {
+      token = &internal_token;
+    }
+    if (token != nullptr && opts.deadline_ms >= 0) {
+      token->set_deadline_after_ms(opts.deadline_ms);
+    }
+    CancelTokenScope scope(*this, token);
+
+    const std::int64_t target_total = steps_done_ + steps;
+    std::uint64_t generation = opts.checkpoint_path.empty()
+                                   ? 0
+                                   : rs::next_generation(opts.checkpoint_path);
+    RestorePoint restore;
+
+    auto run_slab = [&](std::int64_t n, bool serial) {
+      if (serial) {
+        run_with(rt::SerialPolicy{}, Algorithm::kLoopsSerial, n, kernel);
+      } else if (opts.parallel) {
+        run_with(rt::ParallelPolicy{}, opts.algorithm, n, kernel);
+      } else {
+        run_with(rt::SerialPolicy{}, opts.algorithm, n, kernel);
+      }
+    };
+    auto capture = [&] { capture_restore_point(restore); };
+    auto rollback = [&] { apply_restore_point(restore); };
+    auto health = [&] { return health_scan(opts.divergence_limit); };
+    auto apply_faults = [&](std::int64_t slab) {
+      if (opts.faults->poison_after_slab == slab) {
+        poison_first_array(opts.faults->poison_flat_index);
+      }
+    };
+    auto write_ckpt = [&](rs::RunReport& rep) {
+      rs::CheckpointMeta meta;
+      meta.generation = generation++;
+      meta.steps_done = steps_done_;
+      meta.steps_target = target_total;
+      std::function<bool()> io_fault;
+      if (opts.faults != nullptr) {
+        io_fault = [plan = opts.faults] { return plan->take_io_failure(); };
+      }
+      const rs::WriteCheckpointResult w = rs::write_checkpoint(
+          opts.checkpoint_path, meta, array_snapshots(), opts.keep_generations,
+          opts.io_retries, opts.io_retry_backoff_ms, io_fault);
+      rep.checkpoint_io_failures += w.attempts - (w.ok ? 1 : 0);
+      if (w.ok) {
+        ++rep.checkpoints_written;
+      } else {
+        // Persistent IO failure degrades durability, not the computation.
+        rep.message = "checkpoint write failed after " +
+                      std::to_string(w.attempts) + " attempts: " + w.error;
+      }
+    };
+    return rs::supervise(opts, steps, token, run_slab, capture, rollback,
+                         health, apply_faults, write_ckpt);
+  }
+
   /// The standard execution path: interior work runs through row-granular
   /// views (time-level base pointers hoisted once per unit-stride row, no
   /// modulo in the inner loop), closing most of the gap to the split-pointer
@@ -301,7 +643,7 @@ class Stencil {
   template <typename Policy, typename K>
   void run_with(const Policy& pol, Algorithm alg, std::int64_t steps,
                 K& kernel) {
-    POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
+    validate_run(steps);
     // InteriorRowView caches one base pointer per circular time level in a
     // fixed-size table; arrays deeper than its capacity take the per-point
     // path instead of aborting mid-run.
@@ -473,7 +815,7 @@ class Stencil {
   template <typename Policy, typename K, typename FI, typename FB>
   void run_with_factory(const Policy& pol, Algorithm alg, std::int64_t steps,
                         K& kernel, FI interior_fac, FB boundary_fac) {
-    POCHOIR_ASSERT_MSG(registered_, "register_arrays before running");
+    validate_run(steps);
     const auto [t0, t1] = time_range(steps);
     const WalkContext<D> ctx = context();
     const auto pi = make_point_fn(kernel, interior_fac);
@@ -490,6 +832,7 @@ class Stencil {
   std::array<std::int64_t, D> grid_{};
   bool registered_ = false;
   std::int64_t steps_done_ = 0;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace pochoir

@@ -41,6 +41,8 @@ class StrapWalker {
 
  private:
   void walk_impl(const Zoid<D>& virtual_z, bool interior) {
+    // Same zoid-granularity cancellation poll as TrapWalker.
+    if (ctx_.should_stop()) return;
     const Zoid<D> z = interior ? virtual_z : ctx_.normalize(virtual_z);
     if (!interior) interior = ctx_.is_interior(z);
 

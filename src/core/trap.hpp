@@ -43,6 +43,10 @@ class TrapWalker {
 
  private:
   void walk_impl(const Zoid<D>& virtual_z, bool interior) {
+    // Cooperative cancellation at zoid granularity: a fired token makes the
+    // whole recursion decline work and unwind; the supervised runner then
+    // restores the last slab-boundary snapshot.
+    if (ctx_.should_stop()) return;
     const Zoid<D> z = interior ? virtual_z : ctx_.normalize(virtual_z);
     if (!interior) interior = ctx_.is_interior(z);
 

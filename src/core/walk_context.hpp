@@ -1,5 +1,6 @@
 // Shared walk parameters for TRAP/STRAP: stencil slopes, halo reach, grid
-// extents (for the interior/boundary zoid test) and coarsening thresholds.
+// extents (for the interior/boundary zoid test), coarsening thresholds, and
+// the cooperative cancellation token polled at zoid granularity.
 #pragma once
 
 #include <array>
@@ -8,6 +9,7 @@
 #include "core/options.hpp"
 #include "core/shape.hpp"
 #include "geometry/zoid.hpp"
+#include "support/cancellation.hpp"
 
 namespace pochoir {
 
@@ -18,6 +20,14 @@ struct WalkContext {
   std::array<std::int64_t, D> grid{};
   std::int64_t dt_threshold = 1;
   std::array<std::int64_t, D> dx_threshold{};
+  /// Optional cancellation token; walkers decline further work once it
+  /// fires and unwind without touching more grid points.
+  const CancelToken* cancel = nullptr;
+
+  /// Hot-path poll for the walkers and the loops engine.
+  [[nodiscard]] bool should_stop() const {
+    return cancel != nullptr && cancel->cancelled();
+  }
 
   static WalkContext make(const Shape<D>& shape,
                           const std::array<std::int64_t, D>& grid,

@@ -1,0 +1,347 @@
+// Slab checkpoints: versioned, CRC32C-checksummed snapshots of all
+// registered arrays, written atomically so a crash at any instant leaves a
+// loadable generation on disk.
+//
+// On-disk format (native endianness, version 1):
+//
+//   u32 magic "HCOP"        u32 version
+//   u64 generation          i64 steps_done        i64 steps_target
+//   u32 array_count
+//   per array:  u32 dims    u32 elem_size
+//               i64 levels  i64 level_size
+//               i64 extents[dims]
+//               u64 payload_bytes
+//   payloads, concatenated in array order
+//   u32 crc32c over everything above
+//
+// Files are named `<base>.<generation>.ckpt`; the writer goes through
+// io::atomic_write_file (temp + rename + bounded retry/backoff) and prunes
+// old generations after a successful write.  The loader walks generations
+// newest-first and skips any snapshot whose magic, structure, length, or
+// checksum does not verify — a flipped byte or truncated file silently
+// falls back to the previous generation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/atomic_file.hpp"
+
+namespace pochoir::resilience {
+
+// --- CRC32C (Castagnoli), table-driven software implementation ------------
+
+namespace detail {
+
+inline const std::uint32_t* crc32c_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPoly : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Incremental CRC32C; start with crc = 0 and chain over buffers.
+inline std::uint32_t crc32c(std::uint32_t crc, const void* data,
+                            std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::uint32_t* table = detail::crc32c_table();
+  crc = ~crc;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+// --- checkpoint data model -------------------------------------------------
+
+constexpr std::uint32_t kCheckpointMagic = 0x504F4348u;  // "HCOP" on disk
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+struct CheckpointMeta {
+  std::uint64_t generation = 0;
+  std::int64_t steps_done = 0;    ///< steps completed when the snapshot was taken
+  std::int64_t steps_target = 0;  ///< total steps the interrupted run aimed for
+};
+
+/// Writer-side view of one array's storage (all circular time levels, raw).
+struct ArraySnapshot {
+  std::uint32_t dims = 0;
+  std::uint32_t elem_size = 0;
+  std::int64_t levels = 0;
+  std::int64_t level_size = 0;
+  std::vector<std::int64_t> extents;
+  const unsigned char* data = nullptr;
+  std::uint64_t bytes = 0;
+};
+
+/// Loader-side copy of one array's storage plus its layout metadata.
+struct LoadedArray {
+  std::uint32_t dims = 0;
+  std::uint32_t elem_size = 0;
+  std::int64_t levels = 0;
+  std::int64_t level_size = 0;
+  std::vector<std::int64_t> extents;
+  std::vector<unsigned char> bytes;
+};
+
+struct LoadedCheckpoint {
+  CheckpointMeta meta;
+  std::vector<LoadedArray> arrays;
+  std::string file;  ///< the generation file the data came from
+};
+
+// --- file naming -----------------------------------------------------------
+
+inline std::string checkpoint_file_name(const std::string& base,
+                                        std::uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ".%08llu.ckpt",
+                static_cast<unsigned long long>(generation));
+  return base + buf;
+}
+
+/// Existing generations for `base`, sorted ascending.
+inline std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(
+    const std::string& base) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  const fs::path base_path(base);
+  const fs::path dir =
+      base_path.parent_path().empty() ? fs::path(".") : base_path.parent_path();
+  const std::string stem = base_path.filename().string() + ".";
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() <= stem.size() + 5 || name.compare(0, stem.size(), stem) != 0 ||
+        name.compare(name.size() - 5, 5, ".ckpt") != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(stem.size(),
+                                           name.size() - stem.size() - 5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    found.emplace_back(std::strtoull(digits.c_str(), nullptr, 10),
+                       it->path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+/// First unused generation number for `base` (1 on a fresh directory).
+inline std::uint64_t next_generation(const std::string& base) {
+  const auto existing = list_checkpoints(base);
+  return existing.empty() ? 1 : existing.back().first + 1;
+}
+
+/// Deletes generations older than `newest - keep + 1`.
+inline void prune_checkpoints(const std::string& base, std::uint64_t newest,
+                              int keep) {
+  if (keep < 1) keep = 1;
+  std::error_code ec;
+  for (const auto& [gen, path] : list_checkpoints(base)) {
+    if (gen + static_cast<std::uint64_t>(keep) <= newest) {
+      std::filesystem::remove(path, ec);
+    }
+  }
+}
+
+// --- writing ---------------------------------------------------------------
+
+namespace detail {
+
+template <typename T>
+void append_pod(std::vector<unsigned char>& out, const T& v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+inline std::vector<unsigned char> encode_header(
+    const CheckpointMeta& meta, const std::vector<ArraySnapshot>& arrays) {
+  std::vector<unsigned char> header;
+  append_pod(header, kCheckpointMagic);
+  append_pod(header, kCheckpointVersion);
+  append_pod(header, meta.generation);
+  append_pod(header, meta.steps_done);
+  append_pod(header, meta.steps_target);
+  append_pod(header, static_cast<std::uint32_t>(arrays.size()));
+  for (const ArraySnapshot& a : arrays) {
+    append_pod(header, a.dims);
+    append_pod(header, a.elem_size);
+    append_pod(header, a.levels);
+    append_pod(header, a.level_size);
+    for (std::int64_t e : a.extents) append_pod(header, e);
+    append_pod(header, a.bytes);
+  }
+  return header;
+}
+
+}  // namespace detail
+
+struct WriteCheckpointResult {
+  bool ok = false;
+  int attempts = 0;
+  std::string file;
+  std::string error;
+};
+
+/// Writes one checkpoint generation.  `io_fault`, when set and returning
+/// true, fails an attempt before any IO (FaultPlan seam).  On success the
+/// oldest generations beyond `keep_generations` are pruned.
+inline WriteCheckpointResult write_checkpoint(
+    const std::string& base, const CheckpointMeta& meta,
+    const std::vector<ArraySnapshot>& arrays, int keep_generations = 2,
+    int io_retries = 3, int io_backoff_ms = 10,
+    const std::function<bool()>& io_fault = {}) {
+  WriteCheckpointResult result;
+  result.file = checkpoint_file_name(base, meta.generation);
+  const std::vector<unsigned char> header = detail::encode_header(meta, arrays);
+  const auto write_payload = [&](std::FILE* f) {
+    std::uint32_t crc = crc32c(0, header.data(), header.size());
+    if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+      return false;
+    }
+    for (const ArraySnapshot& a : arrays) {
+      crc = crc32c(crc, a.data, a.bytes);
+      if (std::fwrite(a.data, 1, a.bytes, f) != a.bytes) return false;
+    }
+    return std::fwrite(&crc, 1, sizeof crc, f) == sizeof crc;
+  };
+  const io::AtomicWriteResult io = io::atomic_write_file(
+      result.file, write_payload, io_retries, io_backoff_ms, io_fault);
+  result.ok = io.ok;
+  result.attempts = io.attempts;
+  result.error = io.error;
+  if (result.ok) prune_checkpoints(base, meta.generation, keep_generations);
+  return result;
+}
+
+// --- loading ---------------------------------------------------------------
+
+namespace detail {
+
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  template <typename T>
+  bool read(T& out) {
+    if (pos_ + sizeof(T) > size_) return false;
+    std::memcpy(&out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool read_bytes(std::vector<unsigned char>& out, std::uint64_t n) {
+    if (pos_ + n > size_) return false;
+    out.assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses and verifies one checkpoint file; nullopt on any structural or
+/// checksum mismatch (the caller falls back to an older generation).
+inline std::optional<LoadedCheckpoint> load_checkpoint_file(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<unsigned char> raw;
+  {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    raw.resize(static_cast<std::size_t>(size));
+    const std::size_t got = raw.empty() ? 0 : std::fread(raw.data(), 1, raw.size(), f);
+    std::fclose(f);
+    if (got != raw.size()) return std::nullopt;
+  }
+  if (raw.size() < sizeof(std::uint32_t) * 3) return std::nullopt;
+  const std::size_t body = raw.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, raw.data() + body, sizeof stored_crc);
+  if (crc32c(0, raw.data(), body) != stored_crc) return std::nullopt;
+
+  detail::ByteReader r(raw.data(), body);
+  std::uint32_t magic = 0, version = 0, array_count = 0;
+  LoadedCheckpoint out;
+  if (!r.read(magic) || magic != kCheckpointMagic) return std::nullopt;
+  if (!r.read(version) || version != kCheckpointVersion) return std::nullopt;
+  if (!r.read(out.meta.generation) || !r.read(out.meta.steps_done) ||
+      !r.read(out.meta.steps_target) || !r.read(array_count)) {
+    return std::nullopt;
+  }
+  if (array_count > 4096) return std::nullopt;
+  std::vector<std::uint64_t> payload_bytes;
+  for (std::uint32_t i = 0; i < array_count; ++i) {
+    LoadedArray a;
+    if (!r.read(a.dims) || !r.read(a.elem_size) || !r.read(a.levels) ||
+        !r.read(a.level_size) || a.dims > 16) {
+      return std::nullopt;
+    }
+    a.extents.resize(a.dims);
+    for (auto& e : a.extents) {
+      if (!r.read(e)) return std::nullopt;
+    }
+    std::uint64_t bytes = 0;
+    if (!r.read(bytes)) return std::nullopt;
+    payload_bytes.push_back(bytes);
+    out.arrays.push_back(std::move(a));
+  }
+  for (std::uint32_t i = 0; i < array_count; ++i) {
+    if (!r.read_bytes(out.arrays[i].bytes, payload_bytes[i])) {
+      return std::nullopt;
+    }
+  }
+  if (r.pos() != body) return std::nullopt;  // trailing garbage
+  out.file = path;
+  return out;
+}
+
+/// Newest generation that verifies; corrupt or truncated snapshots are
+/// skipped in favour of older ones.
+inline std::optional<LoadedCheckpoint> load_latest_checkpoint(
+    const std::string& base) {
+  auto generations = list_checkpoints(base);
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    if (auto loaded = load_checkpoint_file(it->second)) return loaded;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pochoir::resilience

@@ -1,0 +1,59 @@
+// Numerical health monitoring: per-slab NaN/Inf/divergence scans.
+//
+// An unstable scheme (or a flipped bit) produces NaN/Inf values that
+// propagate silently through every later step; on a long campaign that
+// means hours of garbage before anyone looks at the output.  The
+// supervisor optionally sweeps every circular time level of every
+// registered array after each slab and converts the first offending value
+// into a structured RunReport error, rolling the arrays back to the last
+// healthy slab boundary.
+//
+// Only arithmetic cell types are scanned; struct-valued cells (LBM, PSA)
+// are skipped — the scan cannot know which members are meaningful.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "core/array.hpp"
+
+namespace pochoir::resilience {
+
+struct HealthIssue {
+  bool found = false;
+  std::string message;
+};
+
+/// Scans the raw storage (all time levels) of one array.  `limit` bounds
+/// |value|; use infinity to check only for NaN/Inf.
+template <typename T, int D>
+void scan_array(const Array<T, D>& a, double limit, int array_index,
+                HealthIssue& out) {
+  if (out.found) return;
+  if constexpr (std::is_arithmetic_v<T>) {
+    const T* data = a.data();
+    const std::int64_t n = a.total_size();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double v = static_cast<double>(data[i]);
+      const bool bad_fp = std::isnan(v) || std::isinf(v);
+      if (bad_fp || std::fabs(v) > limit) {
+        out.found = true;
+        out.message = "array " + std::to_string(array_index) +
+                      (bad_fp ? " holds non-finite value " : " diverged to ") +
+                      std::to_string(v) + " at storage index " +
+                      std::to_string(i) + " (time level " +
+                      std::to_string(i / a.level_size()) + ")";
+        return;
+      }
+    }
+  } else {
+    (void)a;
+    (void)limit;
+    (void)array_index;
+  }
+}
+
+}  // namespace pochoir::resilience

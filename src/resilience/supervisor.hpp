@@ -1,0 +1,211 @@
+// Supervised, slab-based execution: the control loop behind
+// Stencil::run_supervised / Stencil::resume.
+//
+// The requested T steps are split into time slabs.  After each slab the
+// supervisor optionally (a) applies planted faults, (b) scans numerical
+// health, (c) captures an in-memory restore point, and (d) writes a
+// checksummed on-disk checkpoint generation.  Failures never abort the
+// process:
+//
+//   - a slab that throws under the parallel scheduler is rolled back and
+//     retried on the serial loops engine (graceful degradation) before the
+//     run gives up with RunStatus::kTaskFailure;
+//   - cancellation or a deadline observed mid-slab rolls back to the slab
+//     boundary, so arrays are always left in a consistent state;
+//   - a failed health scan rolls back to the last healthy boundary and
+//     reports kNumericalError instead of streaming corrupt data;
+//   - checkpoint IO errors are retried with backoff and, if persistent,
+//     recorded in the report while the computation continues.
+//
+// The loop is written against six capability callbacks so it stays
+// independent of the Stencil template; core/stencil.hpp provides them.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "core/options.hpp"
+#include "resilience/fault_injection.hpp"
+#include "support/cancellation.hpp"
+
+namespace pochoir::resilience {
+
+enum class RunStatus {
+  kOk,                ///< all requested steps completed
+  kCancelled,         ///< CancelToken fired; stopped at a slab boundary
+  kDeadlineExceeded,  ///< deadline passed; stopped at a slab boundary
+  kNumericalError,    ///< health scan found NaN/Inf/divergence
+  kTaskFailure,       ///< a slab threw, and the serial retry did not save it
+  kCheckpointError,   ///< resume() found no usable checkpoint
+  kSimulatedCrash,    ///< FaultPlan::kill_after_slab stopped the run
+};
+
+inline const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kCancelled: return "cancelled";
+    case RunStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case RunStatus::kNumericalError: return "numerical-error";
+    case RunStatus::kTaskFailure: return "task-failure";
+    case RunStatus::kCheckpointError: return "checkpoint-error";
+    case RunStatus::kSimulatedCrash: return "simulated-crash";
+  }
+  return "unknown";
+}
+
+/// Structured outcome of a supervised run.  steps_completed counts whole
+/// slabs: on any non-Ok status the arrays hold exactly the state after
+/// steps_completed steps (of this call), never a mid-step mixture.
+struct RunReport {
+  RunStatus status = RunStatus::kOk;
+  std::int64_t steps_requested = 0;
+  std::int64_t steps_completed = 0;
+  std::int64_t slabs_completed = 0;
+  std::int64_t checkpoints_written = 0;
+  std::int64_t checkpoint_io_failures = 0;  ///< failed write attempts (retried)
+  std::int64_t serial_retries = 0;
+  bool degraded = false;  ///< at least one slab ran on the serial fallback
+  bool resumed = false;   ///< this run started from an on-disk checkpoint
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return status == RunStatus::kOk; }
+};
+
+struct SupervisorOptions {
+  /// Steps per slab; 0 runs the whole request as one slab (no mid-run
+  /// checkpoints, near-zero overhead).
+  std::int64_t slab_steps = 0;
+
+  /// Base path for on-disk checkpoints (`<path>.<gen>.ckpt`); empty
+  /// disables disk snapshots.
+  std::string checkpoint_path;
+  int keep_generations = 2;
+  int io_retries = 3;
+  int io_retry_backoff_ms = 10;
+
+  /// Post-slab NaN/Inf scan; |value| > divergence_limit also fails.
+  bool health_check = false;
+  double divergence_limit = std::numeric_limits<double>::infinity();
+
+  /// Retry a failed slab on the serial loops engine before giving up.
+  bool degrade_to_serial = true;
+
+  Algorithm algorithm = Algorithm::kTrap;
+  bool parallel = true;
+
+  /// External cancellation; may be null.  A deadline (>= 0, milliseconds
+  /// from run start) is armed on this token, or on an internal one.
+  CancelToken* cancel = nullptr;
+  std::int64_t deadline_ms = -1;
+
+  FaultPlan* faults = nullptr;
+};
+
+/// Runs `steps` in slabs.  Callbacks:
+///   run_slab(n, serial)   execute n steps (serial=true forces the loops
+///                         engine on the calling thread); throws on failure
+///   capture()             record an in-memory restore point
+///   rollback()            restore arrays + step counter to the last capture
+///   health()              "" when healthy, else a description
+///   apply_faults(slab)    plant post-slab faults from the FaultPlan
+///   write_ckpt(report)    write one checkpoint generation, update counters
+template <typename RunSlab, typename Capture, typename Rollback,
+          typename Health, typename ApplyFaults, typename WriteCkpt>
+RunReport supervise(const SupervisorOptions& opts, std::int64_t steps,
+                    CancelToken* token, RunSlab&& run_slab, Capture&& capture,
+                    Rollback&& rollback, Health&& health,
+                    ApplyFaults&& apply_faults, WriteCkpt&& write_ckpt) {
+  RunReport rep;
+  rep.steps_requested = steps;
+  const std::int64_t slab =
+      opts.slab_steps > 0 && opts.slab_steps < steps ? opts.slab_steps : steps;
+  // Restore points are captured only when something can need one; a plain
+  // supervised run (no slabs, no cancellation, no faults, no health scan)
+  // must stay within noise of Stencil::run.
+  const bool protect = opts.slab_steps > 0 || token != nullptr ||
+                       opts.faults != nullptr || opts.health_check;
+  if (protect) capture();
+
+  std::int64_t done = 0;
+  std::int64_t slab_index = 0;
+  while (done < steps) {
+    if (token != nullptr && token->cancelled_now()) {
+      rep.status = token->deadline_expired() ? RunStatus::kDeadlineExceeded
+                                             : RunStatus::kCancelled;
+      rep.message = "stopped at slab boundary";
+      break;
+    }
+    const std::int64_t this_slab = slab < steps - done ? slab : steps - done;
+    if (opts.faults != nullptr) {
+      opts.faults->begin_slab(slab_index, token, /*retry=*/false);
+    }
+    bool slab_ok = false;
+    try {
+      run_slab(this_slab, /*serial=*/false);
+      slab_ok = true;
+    } catch (const std::exception& e) {
+      if (protect && opts.degrade_to_serial) {
+        rollback();
+        rep.degraded = true;
+        ++rep.serial_retries;
+        if (opts.faults != nullptr) {
+          opts.faults->begin_slab(slab_index, token, /*retry=*/true);
+        }
+        try {
+          run_slab(this_slab, /*serial=*/true);
+          slab_ok = true;
+        } catch (const std::exception& e2) {
+          rollback();
+          rep.status = RunStatus::kTaskFailure;
+          rep.message = std::string("slab failed after serial retry: ") +
+                        e2.what();
+        }
+      } else {
+        if (protect) rollback();
+        rep.status = RunStatus::kTaskFailure;
+        rep.message = protect
+                          ? std::string(e.what())
+                          : std::string(e.what()) +
+                                " (no restore point; arrays may be mid-step)";
+      }
+    }
+    if (!slab_ok) break;
+    if (token != nullptr && token->cancelled_now()) {
+      // The walkers unwound mid-slab; the boundary snapshot is the last
+      // consistent state.
+      rollback();
+      rep.status = token->deadline_expired() ? RunStatus::kDeadlineExceeded
+                                             : RunStatus::kCancelled;
+      rep.message = "cancelled mid-slab; rolled back to slab boundary";
+      break;
+    }
+    if (opts.faults != nullptr) apply_faults(slab_index);
+    if (opts.health_check) {
+      const std::string issue = health();
+      if (!issue.empty()) {
+        rollback();
+        rep.status = RunStatus::kNumericalError;
+        rep.message = issue;
+        break;
+      }
+    }
+    done += this_slab;
+    ++slab_index;
+    rep.slabs_completed = slab_index;
+    rep.steps_completed = done;
+    if (protect && done < steps) capture();
+    if (!opts.checkpoint_path.empty()) write_ckpt(rep);
+    if (opts.faults != nullptr && opts.faults->kill_after_slab >= 0 &&
+        slab_index - 1 == opts.faults->kill_after_slab && done < steps) {
+      rep.status = RunStatus::kSimulatedCrash;
+      rep.message = "fault injection: simulated crash after slab " +
+                    std::to_string(slab_index - 1);
+      break;
+    }
+  }
+  return rep;
+}
+
+}  // namespace pochoir::resilience

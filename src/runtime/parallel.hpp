@@ -60,6 +60,8 @@ class RangeTask final : public Task {
 
 /// Run two callables potentially in parallel; returns when both finish.
 /// The forked task lives on this frame's stack — no allocation per fork.
+/// If either callable throws, the other still completes before the first
+/// exception propagates (stack-resident storage must quiesce first).
 template <typename F0, typename F1>
 void parallel_invoke(F0&& f0, F1&& f1) {
   if (Scheduler::instance().num_threads() == 1) {
@@ -70,7 +72,12 @@ void parallel_invoke(F0&& f0, F1&& f1) {
   TaskGroup group;
   detail::StackTask<std::remove_reference_t<F1>> t1(&group, f1);
   group.spawn_prepared(&t1);
-  f0();
+  try {
+    f0();
+  } catch (...) {
+    group.wait_quiet();
+    throw;
+  }
   group.wait();
 }
 
@@ -88,7 +95,12 @@ void parallel_invoke(F0&& f0, F1&& f1, F2&& f2) {
   detail::StackTask<std::remove_reference_t<F2>> t2(&group, f2);
   group.spawn_prepared(&t1);
   group.spawn_prepared(&t2);
-  f0();
+  try {
+    f0();
+  } catch (...) {
+    group.wait_quiet();
+    throw;
+  }
   group.wait();
 }
 
@@ -127,7 +139,12 @@ void parallel_for(std::int64_t lo, std::int64_t hi, std::int64_t grain,
     return;
   }
   TaskGroup group;
-  detail::parallel_for_split(lo, hi, grain, body, group);
+  try {
+    detail::parallel_for_split(lo, hi, grain, body, group);
+  } catch (...) {
+    group.wait_quiet();
+    throw;
+  }
   group.wait();
 }
 
@@ -156,7 +173,12 @@ void parallel_for_each_index(std::int64_t n, const Body& body) {
     group.spawn_prepared(&storage[static_cast<std::size_t>(i)]);
   }
   // Chunk 0 runs inline on the calling thread.
-  for (std::int64_t i = 0; i < n / tasks; ++i) body(i);
+  try {
+    for (std::int64_t i = 0; i < n / tasks; ++i) body(i);
+  } catch (...) {
+    group.wait_quiet();
+    throw;
+  }
   group.wait();
 }
 

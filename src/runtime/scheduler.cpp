@@ -43,12 +43,20 @@ inline void cpu_relax() {
 std::atomic<int> Scheduler::requested_threads_{0};
 
 void Task::run_and_release() {
-  invoke();
   TaskGroup* group = group_;
+  const bool heap_allocated = heap_allocated_;
+  try {
+    invoke();
+  } catch (...) {
+    // A throwing payload must not unwind into the worker loop (that would
+    // terminate the process); park the exception in the group, which
+    // rethrows it from wait() on the joining thread.
+    if (group != nullptr) group->capture_exception(std::current_exception());
+  }
   // finish_one() must come last: for stack-resident tasks it is the signal
   // that lets the spawning frame's wait() return and reclaim the storage,
   // so `this` must not be touched afterwards.
-  if (heap_allocated_) delete this;
+  if (heap_allocated) delete this;
   if (group != nullptr) group->finish_one();
 }
 
@@ -199,7 +207,7 @@ void Scheduler::worker_main(int index) {
   tls_worker_index = -1;
 }
 
-void TaskGroup::wait() {
+void TaskGroup::wait_quiet() {
   Scheduler& scheduler = Scheduler::instance();
   int idle_spins = 0;
   while (pending_.load(std::memory_order_acquire) > 0) {
@@ -214,6 +222,31 @@ void TaskGroup::wait() {
       idle_spins = 0;
     }
   }
+}
+
+void TaskGroup::wait() {
+  wait_quiet();
+  rethrow_any();
+}
+
+void TaskGroup::capture_exception(std::exception_ptr e) noexcept {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!error_) {
+    error_ = std::move(e);
+    has_error_.store(true, std::memory_order_release);
+  }
+}
+
+void TaskGroup::rethrow_any() {
+  if (!has_error_.load(std::memory_order_acquire)) return;
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    e = std::move(error_);
+    error_ = nullptr;
+    has_error_.store(false, std::memory_order_release);
+  }
+  if (e) std::rethrow_exception(e);
 }
 
 }  // namespace pochoir::rt

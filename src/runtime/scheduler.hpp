@@ -16,6 +16,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -140,6 +141,13 @@ class Scheduler {
 
 /// Fork–join region: spawn() forks tasks, wait() joins them while helping
 /// execute pending work (the caller never blocks idly while work exists).
+///
+/// Abort propagation: a task payload that throws does not take down its
+/// worker thread — the first exception is captured into the group and
+/// rethrown from wait() on the joining thread, unwinding the fork-join
+/// region exactly like a serial call would.  Later exceptions in the same
+/// region are dropped (first-failure-wins); queued tasks still run to
+/// completion so stack-resident storage stays valid.
 class TaskGroup {
  public:
   TaskGroup() = default;
@@ -164,14 +172,32 @@ class TaskGroup {
     Scheduler::instance().submit(task);
   }
 
-  /// Join: executes pending work until every spawned task has finished.
+  /// Join: executes pending work until every spawned task has finished,
+  /// then rethrows the first exception captured from a task, if any.
   void wait();
+
+  /// Join without rethrowing (used when the caller already holds its own
+  /// exception and only needs stack-resident task storage to quiesce).
+  void wait_quiet();
 
   /// Called by Task on completion.
   void finish_one() { pending_.fetch_sub(1, std::memory_order_acq_rel); }
 
+  /// Stores the first exception thrown by a task in this group.
+  void capture_exception(std::exception_ptr e) noexcept;
+
+  /// Rethrows the captured exception, if any (cleared afterwards).
+  void rethrow_any();
+
+  [[nodiscard]] bool has_error() const {
+    return has_error_.load(std::memory_order_acquire);
+  }
+
  private:
   std::atomic<std::int64_t> pending_{0};
+  std::atomic<bool> has_error_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
 };
 
 }  // namespace pochoir::rt

@@ -1,0 +1,79 @@
+// Crash-safe file replacement: write-temp-then-atomic-rename with bounded
+// retry/backoff.
+//
+// A reader never observes a half-written file: the payload goes to
+// `<path>.tmp`, is flushed, and only then renamed over the destination
+// (rename(2) is atomic within a filesystem).  If any step fails the
+// destination keeps its previous content.  Used by the checkpoint writer
+// (resilience/checkpoint.hpp) and the bench JSON reports.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace pochoir::io {
+
+struct AtomicWriteResult {
+  bool ok = false;
+  int attempts = 0;           ///< attempts consumed (>= 1 unless retries < 0)
+  std::string error;          ///< last failure description when !ok
+};
+
+/// Replaces `path` with the bytes produced by `writer(FILE*)`.  `writer`
+/// returns false (or the stream errors) to signal a failed attempt.  Up to
+/// `1 + retries` attempts are made, sleeping `backoff_ms << attempt`
+/// between them.  `fail_hook`, when set and returning true, fails the
+/// attempt before any IO — the fault-injection seam used by tests.
+template <typename Writer>
+AtomicWriteResult atomic_write_file(const std::string& path, Writer&& writer,
+                                    int retries = 3, int backoff_ms = 10,
+                                    const std::function<bool()>& fail_hook = {}) {
+  namespace fs = std::filesystem;
+  AtomicWriteResult result;
+  const std::string tmp = path + ".tmp";
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    if (attempt > 0 && backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<std::int64_t>(backoff_ms)
+                                    << (attempt - 1)));
+    }
+    ++result.attempts;
+    if (fail_hook && fail_hook()) {
+      result.error = "injected IO failure";
+      continue;
+    }
+    std::error_code ec;
+    const fs::path parent = fs::path(path).parent_path();
+    if (!parent.empty()) fs::create_directories(parent, ec);
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      result.error = "cannot open " + tmp;
+      continue;
+    }
+    const bool wrote = writer(f);
+    const bool flushed = std::fflush(f) == 0 && std::ferror(f) == 0;
+    std::fclose(f);
+    if (!wrote || !flushed) {
+      result.error = "short write to " + tmp;
+      fs::remove(tmp, ec);
+      continue;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      result.error = "rename to " + path + " failed: " + ec.message();
+      fs::remove(tmp, ec);
+      continue;
+    }
+    result.ok = true;
+    result.error.clear();
+    return result;
+  }
+  return result;
+}
+
+}  // namespace pochoir::io

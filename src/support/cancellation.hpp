@@ -1,0 +1,80 @@
+// Cooperative cancellation for long-running walks.
+//
+// A CancelToken carries an explicit cancel flag and an optional deadline.
+// The TRAP/STRAP walkers and the loops engine poll it at zoid / time-step
+// granularity and unwind by simply declining further work; the supervised
+// runner (resilience/supervisor.hpp) then restores the last slab-boundary
+// snapshot so arrays are never observed mid-step.
+//
+// cancelled() is designed for hot-path polling: a relaxed atomic load, plus
+// a clock read only every 256th poll per thread when a deadline is set.
+// Boundary decisions (slab starts, final reports) use cancelled_now(),
+// which always consults the clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace pochoir {
+
+class CancelToken {
+  using Clock = std::chrono::steady_clock;
+
+ public:
+  /// Requests cancellation; observed by the next poll on any thread.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a deadline `delay` from now; polls past it behave like cancel().
+  void set_deadline_after(std::chrono::nanoseconds delay) noexcept {
+    deadline_ = Clock::now() + delay;
+    has_deadline_.store(true, std::memory_order_release);
+  }
+  void set_deadline_after_ms(std::int64_t ms) noexcept {
+    set_deadline_after(std::chrono::milliseconds(ms));
+  }
+
+  /// Clears both the flag and any armed deadline (token reuse).
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_hit_.store(false, std::memory_order_relaxed);
+    has_deadline_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Hot-path poll: cheap; the deadline clock is sampled 1-in-256.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_.load(std::memory_order_acquire)) return false;
+    thread_local std::uint32_t polls = 0;
+    if ((++polls & 0xFFu) != 0) return false;
+    return check_deadline();
+  }
+
+  /// Boundary poll: always consults the clock when a deadline is armed.
+  [[nodiscard]] bool cancelled_now() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_.load(std::memory_order_acquire)) return false;
+    return check_deadline();
+  }
+
+  /// True when cancellation was caused by the deadline rather than an
+  /// explicit cancel() (lets reports distinguish timeout from abort).
+  [[nodiscard]] bool deadline_expired() const noexcept {
+    return deadline_hit_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool check_deadline() const noexcept {
+    if (Clock::now() < deadline_) return false;
+    deadline_hit_.store(true, std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> deadline_hit_{false};
+  std::atomic<bool> has_deadline_{false};
+  Clock::time_point deadline_{};
+};
+
+}  // namespace pochoir

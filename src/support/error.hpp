@@ -1,0 +1,29 @@
+// User-facing error type.
+//
+// The library distinguishes two failure classes: *internal invariants*
+// (broken zoid geometry, scheduler bookkeeping) stay on POCHOIR_ASSERT and
+// abort, because continuing would compute garbage; *user-facing misuse*
+// (bad extents, running before registration, nonpositive step counts)
+// throws pochoir::Error so callers — long-running services in particular —
+// can recover without losing the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pochoir {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Throws pochoir::Error when `cond` is false.
+inline void check_usage(bool cond, const char* msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace detail
+}  // namespace pochoir

@@ -113,10 +113,19 @@ TEST(FacadeDeath, RunDebugCatchesOffHomeWrite) {
   EXPECT_DEATH(st.run_debug(1, bad), "off-home");
 }
 
-TEST(FacadeDeath, RunBeforeRegisterAborts) {
+TEST(Facade, RunBeforeRegisterThrows) {
+  // Misuse of the public API is recoverable: pochoir::Error, not abort.
   Stencil<2, double> st(stencils::heat_shape<2>());
-  EXPECT_DEATH(st.run(1, stencils::heat_kernel_2d({0.1, 0.1})),
-               "register_arrays");
+  EXPECT_THROW(st.run(1, stencils::heat_kernel_2d({0.1, 0.1})), Error);
+}
+
+TEST(Facade, NonPositiveStepCountThrows) {
+  auto u = make_grid(8);
+  Stencil<2, double> st(stencils::heat_shape<2>());
+  st.register_arrays(u);
+  EXPECT_THROW(st.run(0, stencils::heat_kernel_2d({0.1, 0.1})), Error);
+  EXPECT_THROW(st.run(-3, stencils::heat_kernel_2d({0.1, 0.1})), Error);
+  EXPECT_EQ(st.steps_done(), 0);
 }
 
 TEST(Facade, TracedRunCountsReferencesAndMatchesUntraced) {
@@ -172,19 +181,29 @@ TEST(Facade, MultipleArraysReceiveViewsInOrder) {
   EXPECT_EQ(b.interior(2, 3), 11.0);
 }
 
-TEST(FacadeDeath, MismatchedExtentsRejected) {
+TEST(Facade, MismatchedExtentsRejected) {
   Shape<1> s = {{1, 0}, {0, 0}};
   Array<double, 1> a({8});
   Array<double, 1> b({9});
   Stencil<1, double, double> st(s);
-  EXPECT_DEATH(st.register_arrays(a, b), "share extents");
+  EXPECT_THROW(st.register_arrays(a, b), Error);
+  // A failed registration leaves the stencil unregistered, not half-bound.
+  EXPECT_THROW(st.run(1, [](std::int64_t, std::int64_t, auto, auto) {}),
+               Error);
 }
 
-TEST(FacadeDeath, TooFewTimeLevelsRejected) {
+TEST(Facade, TooFewTimeLevelsRejected) {
   Shape<1> s = {{1, 0}, {0, 0}, {-1, 0}};  // depth 2
   Array<double, 1> a({8}, /*depth=*/1);    // only 2 levels
   Stencil<1, double> st(s);
-  EXPECT_DEATH(st.register_arrays(a), "time levels");
+  EXPECT_THROW(st.register_arrays(a), Error);
+}
+
+TEST(Facade, BadArrayConstructionThrows) {
+  EXPECT_THROW((Array<double, 1>({0})), Error);
+  EXPECT_THROW((Array<double, 2>({4, -1})), Error);
+  EXPECT_THROW((Array<double, 2>({4, 4}, /*depth=*/0)), Error);
+  EXPECT_THROW((Array<double, 2>({4})), Error);  // extent count != D
 }
 
 }  // namespace
