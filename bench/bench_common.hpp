@@ -17,8 +17,43 @@
 #include "support/atomic_file.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
+#include "telemetry/export.hpp"
 
 namespace pochoir::bench {
+
+/// Compiler identity baked into every BENCH_*.json so perf numbers are
+/// attributable to a toolchain.
+inline std::string compiler_id() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+/// Optimization flags the bench was built with (injected by CMake).
+inline const char* build_flags() {
+#ifdef POCHOIR_BUILD_FLAGS
+  return POCHOIR_BUILD_FLAGS;
+#else
+  return "unknown";
+#endif
+}
+
+/// Git revision of the build tree (injected by CMake at configure time).
+inline const char* git_sha() {
+#ifdef POCHOIR_GIT_SHA
+  return POCHOIR_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
 
 /// Space-time scale factor from POCHOIR_BENCH_SCALE (default 1.0).
 inline double scale() {
@@ -63,11 +98,17 @@ class JsonReport {
   explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
 
   /// One measured configuration.  `mpoints` is millions of space-time grid
-  /// point updates per wall-clock second.
+  /// point updates per wall-clock second.  Pass the session's RunTelemetry
+  /// to attach a "telemetry" block to the row.
   void add(const std::string& kernel, const std::string& grid,
            std::int64_t steps, const std::string& config, double seconds,
-           double mpoints) {
-    records_.push_back({kernel, grid, steps, config, seconds, mpoints});
+           double mpoints, const telemetry::RunTelemetry* tel = nullptr) {
+    Record r{kernel, grid, steps, config, seconds, mpoints, {}, false};
+    if (tel != nullptr) {
+      r.tel = *tel;
+      r.has_tel = true;
+    }
+    records_.push_back(std::move(r));
   }
 
   ~JsonReport() { write(); }
@@ -82,18 +123,39 @@ class JsonReport {
     // previously good BENCH_*.json tracked across PRs.
     const auto result = io::atomic_write_file(path, [&](std::FILE* f) {
       if (std::fprintf(f, "[\n") < 0) return false;
+      // Row 0 is a metadata stamp so the perf trajectory is attributable
+      // to a toolchain + revision; measurement rows follow.
+      if (std::fprintf(
+              f,
+              "  {\"bench\": \"%s\", \"meta\": {\"compiler\": \"%s\", "
+              "\"flags\": \"%s\", \"git_sha\": \"%s\", \"threads\": %d, "
+              "\"scale\": %.3f}}%s\n",
+              bench_.c_str(), compiler_id().c_str(), build_flags(), git_sha(),
+              rt::Scheduler::instance().num_threads(), scale(),
+              records_.empty() ? "" : ",") < 0) {
+        return false;
+      }
       for (std::size_t i = 0; i < records_.size(); ++i) {
         const Record& r = records_[i];
-        const int n = std::fprintf(
+        int n = std::fprintf(
             f,
             "  {\"bench\": \"%s\", \"kernel\": \"%s\", \"grid\": "
             "\"%s\", \"steps\": %lld, \"config\": \"%s\", "
             "\"threads\": %d, \"scale\": %.3f, \"seconds\": %.6f, "
-            "\"mpoints_per_s\": %.3f}%s\n",
+            "\"mpoints_per_s\": %.3f",
             bench_.c_str(), r.kernel.c_str(), r.grid.c_str(),
             static_cast<long long>(r.steps), r.config.c_str(),
             rt::Scheduler::instance().num_threads(), scale(), r.seconds,
-            r.mpoints, i + 1 < records_.size() ? "," : "");
+            r.mpoints);
+        if (n < 0) return false;
+        if (r.has_tel) {
+          const std::string tel =
+              telemetry::to_json(r.tel, /*include_label=*/false);
+          if (std::fprintf(f, ", \"telemetry\": %s", tel.c_str()) < 0) {
+            return false;
+          }
+        }
+        n = std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
         if (n < 0) return false;
       }
       return std::fprintf(f, "]\n") >= 0;
@@ -115,6 +177,8 @@ class JsonReport {
     std::string config;
     double seconds;
     double mpoints;
+    telemetry::RunTelemetry tel;
+    bool has_tel;
   };
 
   std::string bench_;

@@ -4,6 +4,7 @@
 //
 // Grids are scaled from the paper's 12-core sizes (e.g. Heat 2 was
 // 16,000^2 x 500 there); the *ratios* are the reproduction target.
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <functional>
@@ -37,31 +38,38 @@ struct Row {
   double serial_loops;
   double parallel_loops;
   std::string paper_note;  // the paper's reported speedup / ratios
+  // Per-config telemetry, populated only when POCHOIR_TELEMETRY (or
+  // POCHOIR_TRACE) is set — the default timed path stays untouched.
+  std::array<telemetry::RunTelemetry, 4> tel{};
 };
 
-/// Runs one benchmark in all four configurations.
+/// Runs one benchmark in all four configurations.  Each config runs inside
+/// a trace::Session, which is a pair of counter snapshots when telemetry is
+/// off and additionally feeds the trace/registry exports when it is on.
 template <typename Setup>
 Row run_benchmark(const std::string& name, const std::string& dims,
                   const std::string& grid, std::int64_t steps,
                   std::int64_t space_points, Setup&& setup,
                   const std::string& paper_note) {
-  Row row{name, dims, grid, steps, space_points, 0, 0, 0, 0, paper_note};
-  row.pochoir_1core = timed([&] {
-    auto runner = setup();
-    runner(Algorithm::kTrap, /*parallel=*/false);
-  });
-  row.pochoir_pcore = timed([&] {
-    auto runner = setup();
-    runner(Algorithm::kTrap, /*parallel=*/true);
-  });
-  row.serial_loops = timed([&] {
-    auto runner = setup();
-    runner(Algorithm::kLoopsSerial, /*parallel=*/false);
-  });
-  row.parallel_loops = timed([&] {
-    auto runner = setup();
-    runner(Algorithm::kLoopsParallel, /*parallel=*/true);
-  });
+  Row row{name, dims, grid, steps, space_points, 0, 0, 0, 0, paper_note, {}};
+  auto timed_cfg = [&](const char* cfg, Algorithm alg, bool parallel,
+                       telemetry::RunTelemetry* out) {
+    trace::Session session(name + " " + dims + "/" + cfg);
+    const double s = timed([&] {
+      auto runner = setup();
+      runner(alg, parallel);
+    });
+    *out = session.finish();
+    return s;
+  };
+  row.pochoir_1core = timed_cfg("trap_1core", Algorithm::kTrap,
+                                /*parallel=*/false, &row.tel[0]);
+  row.pochoir_pcore = timed_cfg("trap_pcore", Algorithm::kTrap,
+                                /*parallel=*/true, &row.tel[1]);
+  row.serial_loops = timed_cfg("loops_serial", Algorithm::kLoopsSerial,
+                               /*parallel=*/false, &row.tel[2]);
+  row.parallel_loops = timed_cfg("loops_parallel", Algorithm::kLoopsParallel,
+                                 /*parallel=*/true, &row.tel[3]);
   std::fprintf(stderr, "  done %-8s (%.1fs/%.1fs/%.1fs/%.1fs)\n", name.c_str(),
                row.pochoir_1core, row.pochoir_pcore, row.serial_loops,
                row.parallel_loops);
@@ -295,14 +303,20 @@ int main() {
     const double mpts = static_cast<double>(r.space_points) *
                         static_cast<double>(r.steps) / 1e6;
     const std::string kernel = r.name + " " + r.dims;
-    report.add(kernel, r.grid, r.steps, "trap_1core", r.pochoir_1core,
-               mpts / r.pochoir_1core);
-    report.add(kernel, r.grid, r.steps, "trap_pcore", r.pochoir_pcore,
-               mpts / r.pochoir_pcore);
-    report.add(kernel, r.grid, r.steps, "loops_serial", r.serial_loops,
-               mpts / r.serial_loops);
-    report.add(kernel, r.grid, r.steps, "loops_parallel", r.parallel_loops,
-               mpts / r.parallel_loops);
+    const char* configs[4] = {"trap_1core", "trap_pcore", "loops_serial",
+                              "loops_parallel"};
+    const double secs[4] = {r.pochoir_1core, r.pochoir_pcore, r.serial_loops,
+                            r.parallel_loops};
+    for (int c = 0; c < 4; ++c) {
+      // Counter deltas are all zero when telemetry was off; only attach
+      // the block when it carries real data.
+      const telemetry::RunTelemetry* tel =
+          r.tel[static_cast<std::size_t>(c)].points() > 0
+              ? &r.tel[static_cast<std::size_t>(c)]
+              : nullptr;
+      report.add(kernel, r.grid, r.steps, configs[c], secs[c],
+                 mpts / secs[c], tel);
+    }
   }
   return 0;
 }

@@ -9,12 +9,17 @@
 // for d >= 2 (Theorems 3 vs 5), with the gap widening in 3D.
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "analysis/dag_metrics.hpp"
 #include "bench_common.hpp"
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "stencils/common.hpp"
 #include "stencils/heat.hpp"
 #include "stencils/wave.hpp"
+#include "telemetry/export.hpp"
 
 namespace pochoir::bench {
 namespace {
@@ -99,5 +104,69 @@ int main() {
 
   std::printf("\npaper (measured, Cilkview): 2D heat N=6400: TRAP 1887 vs "
               "STRAP ~115; 3D wave N=800: TRAP 337 vs STRAP ~23.\n");
+
+  // (c) A *measured* multi-threaded datapoint at whatever core count this
+  // host offers: 2D periodic heat in the four Figure-3 configurations, with
+  // telemetry attached (steal ratio, spawns, points/s) so the parallel
+  // scaling claim is backed by observed scheduler activity, not only the
+  // analytic work/span model above.
+  {
+    const int threads = rt::Scheduler::instance().num_threads();
+    const std::int64_t n = scaled(1200, 1.0 / 3), t = scaled(96, 1.0 / 3);
+    std::printf("\n(c) measured: 2D periodic heat %lldx%lld, T=%lld, "
+                "%d thread(s)\n",
+                static_cast<long long>(n), static_cast<long long>(n),
+                static_cast<long long>(t), threads);
+
+    struct Cfg {
+      const char* name;
+      Algorithm alg;
+      bool parallel;
+    };
+    const Cfg cfgs[4] = {{"trap_1core", Algorithm::kTrap, false},
+                         {"trap_pcore", Algorithm::kTrap, true},
+                         {"loops_serial", Algorithm::kLoopsSerial, false},
+                         {"loops_parallel", Algorithm::kLoopsParallel, true}};
+
+    JsonReport report("fig9_parallelism");
+    Table table({"config", "seconds", "Mpts/s", "speedup vs 1core", "spawns",
+                 "steal ratio"});
+    const double mpts =
+        static_cast<double>(n) * static_cast<double>(n) *
+        static_cast<double>(t) / 1e6;
+    double base_seconds = 0.0;
+    for (const Cfg& cfg : cfgs) {
+      // force_enable: this bench exists to produce a measured telemetry
+      // datapoint, so counters are on regardless of POCHOIR_TELEMETRY.
+      trace::Session session(std::string("fig9/") + cfg.name,
+                             /*force_enable=*/true);
+      const double seconds = timed([&] {
+        Array<double, 2> a({n, n}, stencils::heat_shape<2>().depth());
+        a.register_boundary(periodic_boundary<double, 2>());
+        stencils::fill_random(a, 0, 0.0, 1.0);
+        Stencil<2, double> heat(stencils::heat_shape<2>());
+        heat.register_arrays(a);
+        auto kern = stencils::heat_kernel_2d({0.125, 0.125});
+        if (cfg.parallel) {
+          heat.run(cfg.alg, t, kern);
+        } else {
+          heat.run_serial(cfg.alg, t, kern);
+        }
+      });
+      const telemetry::RunTelemetry tel = session.finish();
+      if (base_seconds == 0.0) base_seconds = seconds;
+      table.add_row({cfg.name, strf("%.3fs", seconds),
+                     strf("%.1f", mpts / seconds),
+                     strf("%.2f", base_seconds / seconds),
+                     std::to_string(tel.sched.spawns),
+                     strf("%.3f", tel.sched.steal_ratio())});
+      report.add("Heat 2p", std::to_string(n) + "^2", t, cfg.name, seconds,
+                 mpts / seconds, &tel);
+    }
+    table.print();
+    std::printf("note: speedup is vs trap_1core on this host (%d thread(s)); "
+                "the paper's Figure 9 is the analytic sections above.\n",
+                threads);
+  }
   return 0;
 }

@@ -31,12 +31,28 @@ int main() {
   Stencil<2, double> cylinder(shape);
   cylinder.register_arrays(u);
 
+  // Self-profiling hook: POCHOIR_TRACE=out.json writes a Perfetto trace of
+  // this run, POCHOIR_TELEMETRY(-_JSON) collects/export counters.  With
+  // neither set the session is a pair of counter snapshots — effectively free.
+  trace::Session session("heat_cylinder");
+
   const double c = 0.2;
   cylinder.run(T, [c](std::int64_t t, std::int64_t x, std::int64_t y, auto v) {
     v(t + 1, x, y) = v(t, x, y) +
                      c * (v(t, x + 1, y) - 2 * v(t, x, y) + v(t, x - 1, y)) +
                      c * (v(t, x, y + 1) - 2 * v(t, x, y) + v(t, x, y - 1));
   });
+
+  const telemetry::RunTelemetry tel = session.finish();
+  if (tel.points() > 0) {
+    std::printf("telemetry: %.3fs, %llu points (%.1f Mpts/s), "
+                "%llu base cases, %llu space cuts, %llu time cuts\n",
+                tel.seconds, static_cast<unsigned long long>(tel.points()),
+                tel.points_per_s() / 1e6,
+                static_cast<unsigned long long>(tel.walk.base_cases()),
+                static_cast<unsigned long long>(tel.walk.space_cuts),
+                static_cast<unsigned long long>(tel.walk.time_cuts));
+  }
 
   // Profile along the cylinder axis: hot near y=0, cold near y=Along.
   std::printf("axial temperature profile after %lld steps:\n",

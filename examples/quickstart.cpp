@@ -42,7 +42,12 @@ int main() {
     }
   }
 
-  heat.Run(T, heat_fn);  // cache-oblivious parallel TRAP under the hood
+  {
+    // Optional self-profiling (POCHOIR_TRACE / POCHOIR_TELEMETRY env vars);
+    // pochoirc wraps generated Run calls in the same session type.
+    pochoir::trace::Session session("quickstart/heat_fn");
+    heat.Run(T, heat_fn);  // cache-oblivious parallel TRAP under the hood
+  }
 
   // Heat is conserved on the torus; the peak spreads out.
   double total = 0, peak = 0;

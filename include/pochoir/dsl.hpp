@@ -36,6 +36,9 @@
 #include "core/shape.hpp"
 #include "core/stencil.hpp"
 #include "support/math_util.hpp"
+// The trace session API is part of the DSL surface: pochoirc wraps every
+// generated Run call in a pochoir::trace::Session.
+#include "telemetry/export.hpp"
 
 namespace pochoir::dsl {
 

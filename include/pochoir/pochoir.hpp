@@ -10,6 +10,8 @@
 // Analysis:     analyze_trap/analyze_strap/analyze_loops, CacheSim
 // Resilience:   Stencil::run_supervised/resume, RunReport, SupervisorOptions,
 //               CancelToken, FaultPlan, pochoir::Error
+// Telemetry:    pochoir::trace::Session/Span (POCHOIR_TRACE=out.json),
+//               telemetry::Registry, write_chrome_trace, WalkStats counters
 // DSL veneer:   <pochoir/dsl.hpp> (the paper's Figure 6 macro syntax)
 #pragma once
 
@@ -37,3 +39,8 @@
 #include "support/atomic_file.hpp"
 #include "support/cancellation.hpp"
 #include "support/error.hpp"
+#include "support/json_lint.hpp"
+#include "support/timer.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/stats.hpp"
+#include "telemetry/trace.hpp"

@@ -324,22 +324,31 @@ class Generator {
 
   void emit_runs() {
     for (const auto& run : src_.runs) {
+      // Every generated Run executes inside a trace session labelled with
+      // the kernel name, so POCHOIR_TRACE / POCHOIR_TELEMETRY work on
+      // compiled programs without source changes (a pair of counter
+      // snapshots when both are off).
+      const std::string session = "{ pochoir::trace::Session "
+                                  "_pochoir_trace_session(\"" +
+                                  run.kernel + "\"); ";
       auto split_it = kernel_split_.find(run.kernel);
       if (split_it == kernel_split_.end()) {
         diag("Run references unknown kernel '" + run.kernel +
              "'; leaving a Phase-1 call");
-        replace(run.span, run.object + ".run(" + run.steps_expr + ", " +
-                              run.kernel + ");");
+        replace(run.span, session + run.object + ".run(" + run.steps_expr +
+                              ", " + run.kernel + "); }");
         continue;
       }
       if (split_it->second) {
-        replace(run.span, run.object + ".run_split(" + run.steps_expr + ", " +
-                              run.kernel + "_pochoir_splitbase, " +
-                              run.kernel + "_pochoir_boundary);");
+        replace(run.span, session + run.object + ".run_split(" +
+                              run.steps_expr + ", " + run.kernel +
+                              "_pochoir_splitbase, " + run.kernel +
+                              "_pochoir_boundary); }");
       } else {
-        replace(run.span, run.object + ".run_cloned(" + run.steps_expr + ", " +
-                              run.kernel + "_pochoir_interior, " + run.kernel +
-                              "_pochoir_boundary);");
+        replace(run.span, session + run.object + ".run_cloned(" +
+                              run.steps_expr + ", " + run.kernel +
+                              "_pochoir_interior, " + run.kernel +
+                              "_pochoir_boundary); }");
       }
     }
   }

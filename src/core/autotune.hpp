@@ -12,6 +12,7 @@
 
 #include "core/options.hpp"
 #include "support/assertion.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pochoir {
 
@@ -40,6 +41,7 @@ AutotuneResult<D> autotune_coarsening(
   POCHOIR_ASSERT(!dt_candidates.empty() && !dx_candidates.empty());
   AutotuneResult<D> result;
   bool first = true;
+  std::int64_t trial_index = 0;
   for (const std::int64_t dt : dt_candidates) {
     for (const std::int64_t dx : dx_candidates) {
       Options<D> opts;
@@ -48,6 +50,9 @@ AutotuneResult<D> autotune_coarsening(
       if (protect_unit_stride) {
         opts.dx_threshold[D - 1] = Options<D>::kNeverCut;
       }
+      // Each candidate shows up as one span in a POCHOIR_TRACE capture, so
+      // the search itself is inspectable in Perfetto.
+      trace::Span span("autotune_trial", trial_index++);
       const double secs = run_and_time(opts);
       result.samples.push_back({opts, secs});
       if (first || secs < result.best_seconds) {

@@ -18,6 +18,7 @@
 
 #include "core/walk_context.hpp"
 #include "runtime/parallel.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pochoir {
 
@@ -99,10 +100,17 @@ void run_loops(const WalkContext<D>& ctx, const Policy& policy,
                bool interior_clone = true) {
   const auto& grid = ctx.grid;
   const auto& reach = ctx.reach;
+  // Telemetry at time-step granularity: one spatial-volume increment per
+  // completed step, nothing inside the nest.
+  std::uint64_t step_points = 1;
+  for (int i = 0; i < D; ++i) {
+    step_points *= static_cast<std::uint64_t>(grid[static_cast<std::size_t>(i)]);
+  }
   for (std::int64_t t = t0; t < t1; ++t) {
     // Cancellation unwinds between whole time steps; the loops engine has
     // no finer consistent boundary.
     if (ctx.should_stop()) return;
+    trace::Span span(ctx.trace_depth >= 0 ? "loops_step" : nullptr, t);
     if constexpr (D == 1) {
       detail::loops_time_step_1d(policy, t, grid[0], reach[0], ri, kb,
                                  interior_clone);
@@ -115,6 +123,7 @@ void run_loops(const WalkContext<D>& ctx, const Policy& policy,
                                  interior_clone, ri, kb);
       });
     }
+    if (ctx.stats != nullptr) ctx.stats->on_loops_step(step_points);
   }
 }
 

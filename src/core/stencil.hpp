@@ -50,6 +50,9 @@
 #include "support/assertion.hpp"
 #include "support/cancellation.hpp"
 #include "support/error.hpp"
+#include "support/timer.hpp"
+#include "telemetry/stats.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pochoir {
 
@@ -160,6 +163,10 @@ class Stencil {
                         "register_arrays must be called before running");
     WalkContext<D> ctx = WalkContext<D>::make(shape_, grid_, opts_);
     ctx.cancel = cancel_;
+    if (telemetry::enabled()) ctx.stats = &telemetry::walk_stats();
+    if (trace::Tracer::instance().active()) {
+      ctx.trace_depth = trace::zoid_depth_limit();
+    }
     return ctx;
   }
 
@@ -318,6 +325,7 @@ class Stencil {
   void run_custom_base(const Policy& pol, std::int64_t steps, IB&& ib,
                        BB&& bb) {
     validate_run(steps);
+    trace::Span span("stencil_run", steps);
     const auto [t0, t1] = time_range(steps);
     const WalkContext<D> ctx = context();
     run_trap(ctx, pol, t0, t1, ib, bb);
@@ -612,6 +620,8 @@ class Stencil {
       }
     };
     auto write_ckpt = [&](rs::RunReport& rep) {
+      trace::Span ckpt_span("checkpoint_io");
+      Timer ckpt_timer;
       rs::CheckpointMeta meta;
       meta.generation = generation++;
       meta.steps_done = steps_done_;
@@ -620,12 +630,17 @@ class Stencil {
       if (opts.faults != nullptr) {
         io_fault = [plan = opts.faults] { return plan->take_io_failure(); };
       }
+      const auto snaps = array_snapshots();
+      std::int64_t snap_bytes = 0;
+      for (const auto& s : snaps) snap_bytes += static_cast<std::int64_t>(s.bytes);
       const rs::WriteCheckpointResult w = rs::write_checkpoint(
-          opts.checkpoint_path, meta, array_snapshots(), opts.keep_generations,
+          opts.checkpoint_path, meta, snaps, opts.keep_generations,
           opts.io_retries, opts.io_retry_backoff_ms, io_fault);
+      rep.checkpoint_seconds += ckpt_timer.seconds();
       rep.checkpoint_io_failures += w.attempts - (w.ok ? 1 : 0);
       if (w.ok) {
         ++rep.checkpoints_written;
+        rep.checkpoint_bytes += snap_bytes;
       } else {
         // Persistent IO failure degrades durability, not the computation.
         rep.message = "checkpoint write failed after " +
@@ -660,6 +675,7 @@ class Stencil {
                        boundary_factory());
       return;
     }
+    trace::Span span("stencil_run", steps);
     const auto [t0, t1] = time_range(steps);
     const WalkContext<D> ctx = context();
     const auto pb_raw = make_point_fn(kernel, boundary_factory());
@@ -816,6 +832,7 @@ class Stencil {
   void run_with_factory(const Policy& pol, Algorithm alg, std::int64_t steps,
                         K& kernel, FI interior_fac, FB boundary_fac) {
     validate_run(steps);
+    trace::Span span("stencil_run", steps);
     const auto [t0, t1] = time_range(steps);
     const WalkContext<D> ctx = context();
     const auto pi = make_point_fn(kernel, interior_fac);

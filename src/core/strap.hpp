@@ -21,6 +21,7 @@
 #include "geometry/cuts.hpp"
 #include "geometry/zoid.hpp"
 #include "runtime/parallel.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pochoir {
 
@@ -36,54 +37,61 @@ class StrapWalker {
 
   void walk(const Zoid<D>& z) {
     if (z.height() < 1) return;
-    walk_impl(z, /*interior=*/false);
+    walk_impl(z, /*interior=*/false, /*depth=*/0);
   }
 
  private:
-  void walk_impl(const Zoid<D>& virtual_z, bool interior) {
+  void walk_impl(const Zoid<D>& virtual_z, bool interior, int depth) {
     // Same zoid-granularity cancellation poll as TrapWalker.
     if (ctx_.should_stop()) return;
     const Zoid<D> z = interior ? virtual_z : ctx_.normalize(virtual_z);
     if (!interior) interior = ctx_.is_interior(z);
+    trace::Span span(depth <= ctx_.trace_depth ? "zoid" : nullptr, depth);
 
     if (auto cut = plan_first_cut(z, ctx_.sigma, ctx_.dx_threshold, ctx_.grid)) {
+      if (ctx_.stats != nullptr) ctx_.stats->on_space_cut();
       const int dim = cut->first;
       const DimCut& c = cut->second;
       if (c.count == 2 && c.seam) {
         // Torus seam cut: the black ring strictly precedes the seam piece.
-        walk_impl(with_piece(z, dim, c.piece[0]), interior);
-        walk_impl(with_piece(z, dim, c.piece[1]), interior);
+        walk_impl(with_piece(z, dim, c.piece[0]), interior, depth + 1);
+        walk_impl(with_piece(z, dim, c.piece[1]), interior, depth + 1);
         return;
       }
       if (c.count == 2) {
         const Zoid<D> a = with_piece(z, dim, c.piece[0]);
         const Zoid<D> b = with_piece(z, dim, c.piece[1]);
-        policy_.invoke2([&] { walk_impl(a, interior); },
-                        [&] { walk_impl(b, interior); });
+        policy_.invoke2([&] { walk_impl(a, interior, depth + 1); },
+                        [&] { walk_impl(b, interior, depth + 1); });
         return;
       }
       const Zoid<D> black1 = with_piece(z, dim, c.piece[0]);
       const Zoid<D> gray = with_piece(z, dim, c.piece[1]);
       const Zoid<D> black3 = with_piece(z, dim, c.piece[2]);
       if (c.upright) {
-        policy_.invoke2([&] { walk_impl(black1, interior); },
-                        [&] { walk_impl(black3, interior); });
-        walk_impl(gray, interior);
+        policy_.invoke2([&] { walk_impl(black1, interior, depth + 1); },
+                        [&] { walk_impl(black3, interior, depth + 1); });
+        walk_impl(gray, interior, depth + 1);
       } else {
-        walk_impl(gray, interior);
-        policy_.invoke2([&] { walk_impl(black1, interior); },
-                        [&] { walk_impl(black3, interior); });
+        walk_impl(gray, interior, depth + 1);
+        policy_.invoke2([&] { walk_impl(black1, interior, depth + 1); },
+                        [&] { walk_impl(black3, interior, depth + 1); });
       }
       return;
     }
 
     if (z.height() > ctx_.dt_threshold) {
+      if (ctx_.stats != nullptr) ctx_.stats->on_time_cut();
       const auto halves = time_cut(z);
-      walk_impl(halves.first, interior);
-      walk_impl(halves.second, interior);
+      walk_impl(halves.first, interior, depth + 1);
+      walk_impl(halves.second, interior, depth + 1);
       return;
     }
 
+    if (ctx_.stats != nullptr) {
+      ctx_.stats->on_base(static_cast<std::uint64_t>(z.volume()), z.height(),
+                          interior);
+    }
     if (interior) {
       interior_base_(z);
     } else {

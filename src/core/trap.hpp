@@ -22,6 +22,7 @@
 #include "geometry/cuts.hpp"
 #include "geometry/zoid.hpp"
 #include "runtime/parallel.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pochoir {
 
@@ -38,21 +39,25 @@ class TrapWalker {
   /// Processes every grid point of `z` in dependency order.
   void walk(const Zoid<D>& z) {
     if (z.height() < 1) return;
-    walk_impl(z, /*interior=*/false);
+    walk_impl(z, /*interior=*/false, /*depth=*/0);
   }
 
  private:
-  void walk_impl(const Zoid<D>& virtual_z, bool interior) {
+  void walk_impl(const Zoid<D>& virtual_z, bool interior, int depth) {
     // Cooperative cancellation at zoid granularity: a fired token makes the
     // whole recursion decline work and unwind; the supervised runner then
     // restores the last slab-boundary snapshot.
     if (ctx_.should_stop()) return;
     const Zoid<D> z = interior ? virtual_z : ctx_.normalize(virtual_z);
     if (!interior) interior = ctx_.is_interior(z);
+    // Only the top few recursion levels are traced (ctx.trace_depth, -1 =
+    // off); a nullptr name makes the span a no-op.
+    trace::Span span(depth <= ctx_.trace_depth ? "zoid" : nullptr, depth);
 
     const HyperCut<D> plan =
         plan_hyperspace_cut(z, ctx_.sigma, ctx_.dx_threshold, ctx_.grid);
     if (!plan.empty()) {
+      if (ctx_.stats != nullptr) ctx_.stats->on_space_cut();
       // Stack-resident buckets: the recursion node performs no heap
       // allocation (SubzoidLevels has compile-time capacity 3^D x (D+1)).
       SubzoidLevels<D> levels;
@@ -61,10 +66,10 @@ class TrapWalker {
         const int n = levels.size(l);
         if (n == 0) continue;
         if (n == 1) {
-          walk_impl(levels.at(l, 0), interior);
+          walk_impl(levels.at(l, 0), interior, depth + 1);
         } else {
           policy_.for_all(n, [&](std::int64_t i) {
-            walk_impl(levels.at(l, static_cast<int>(i)), interior);
+            walk_impl(levels.at(l, static_cast<int>(i)), interior, depth + 1);
           });
         }
       }
@@ -72,12 +77,17 @@ class TrapWalker {
     }
 
     if (z.height() > ctx_.dt_threshold) {
+      if (ctx_.stats != nullptr) ctx_.stats->on_time_cut();
       const auto halves = time_cut(z);
-      walk_impl(halves.first, interior);
-      walk_impl(halves.second, interior);
+      walk_impl(halves.first, interior, depth + 1);
+      walk_impl(halves.second, interior, depth + 1);
       return;
     }
 
+    if (ctx_.stats != nullptr) {
+      ctx_.stats->on_base(static_cast<std::uint64_t>(z.volume()), z.height(),
+                          interior);
+    }
     if (interior) {
       interior_base_(z);
     } else {

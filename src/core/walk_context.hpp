@@ -10,6 +10,7 @@
 #include "core/shape.hpp"
 #include "geometry/zoid.hpp"
 #include "support/cancellation.hpp"
+#include "telemetry/stats.hpp"
 
 namespace pochoir {
 
@@ -23,6 +24,12 @@ struct WalkContext {
   /// Optional cancellation token; walkers decline further work once it
   /// fires and unwind without touching more grid points.
   const CancelToken* cancel = nullptr;
+  /// Optional walk-counter sink (telemetry).  Null = counting off; walkers
+  /// increment at zoid/time-step granularity only, never in inner loops.
+  telemetry::WalkStats* stats = nullptr;
+  /// Zoid recursion levels at or above this depth emit trace spans
+  /// (-1 = tracing off for this walk).
+  int trace_depth = -1;
 
   /// Hot-path poll for the walkers and the loops engine.
   [[nodiscard]] bool should_stop() const {

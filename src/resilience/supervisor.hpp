@@ -29,6 +29,8 @@
 #include "core/options.hpp"
 #include "resilience/fault_injection.hpp"
 #include "support/cancellation.hpp"
+#include "support/timer.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pochoir::resilience {
 
@@ -66,6 +68,9 @@ struct RunReport {
   std::int64_t checkpoints_written = 0;
   std::int64_t checkpoint_io_failures = 0;  ///< failed write attempts (retried)
   std::int64_t serial_retries = 0;
+  double slab_seconds = 0.0;        ///< wall time inside run_slab (incl. retries)
+  double checkpoint_seconds = 0.0;  ///< wall time writing on-disk checkpoints
+  std::int64_t checkpoint_bytes = 0;  ///< payload bytes of successful checkpoints
   bool degraded = false;  ///< at least one slab ran on the serial fallback
   bool resumed = false;   ///< this run started from an on-disk checkpoint
   std::string message;
@@ -142,7 +147,9 @@ RunReport supervise(const SupervisorOptions& opts, std::int64_t steps,
       opts.faults->begin_slab(slab_index, token, /*retry=*/false);
     }
     bool slab_ok = false;
+    Timer slab_timer;
     try {
+      trace::Span slab_span("slab", slab_index);
       run_slab(this_slab, /*serial=*/false);
       slab_ok = true;
     } catch (const std::exception& e) {
@@ -154,6 +161,7 @@ RunReport supervise(const SupervisorOptions& opts, std::int64_t steps,
           opts.faults->begin_slab(slab_index, token, /*retry=*/true);
         }
         try {
+          trace::Span retry_span("degraded_retry", slab_index);
           run_slab(this_slab, /*serial=*/true);
           slab_ok = true;
         } catch (const std::exception& e2) {
@@ -171,6 +179,7 @@ RunReport supervise(const SupervisorOptions& opts, std::int64_t steps,
                                 " (no restore point; arrays may be mid-step)";
       }
     }
+    rep.slab_seconds += slab_timer.seconds();
     if (!slab_ok) break;
     if (token != nullptr && token->cancelled_now()) {
       // The walkers unwound mid-slab; the boundary snapshot is the last
@@ -183,6 +192,7 @@ RunReport supervise(const SupervisorOptions& opts, std::int64_t steps,
     }
     if (opts.faults != nullptr) apply_faults(slab_index);
     if (opts.health_check) {
+      trace::Span health_span("health_scan", slab_index);
       const std::string issue = health();
       if (!issue.empty()) {
         rollback();

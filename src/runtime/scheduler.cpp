@@ -38,9 +38,17 @@ inline void cpu_relax() {
 #endif
 }
 
+// Telemetry increments are fully guarded so the disabled path costs one
+// relaxed load; the counters themselves are relaxed adds to thread-owned
+// cache lines.
+inline void bump(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) {
+  if (telemetry::enabled()) counter.fetch_add(n, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 std::atomic<int> Scheduler::requested_threads_{0};
+std::atomic<Scheduler*> Scheduler::live_instance_{nullptr};
 
 void Task::run_and_release() {
   TaskGroup* group = group_;
@@ -88,9 +96,11 @@ Scheduler::Scheduler(int num_threads) : num_workers_(num_threads) {
   for (int i = 0; i < pool; ++i) {
     threads_.emplace_back([this, i] { worker_main(i); });
   }
+  live_instance_.store(this, std::memory_order_release);
 }
 
 Scheduler::~Scheduler() {
+  live_instance_.store(nullptr, std::memory_order_release);
   shutting_down_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(park_mutex_);
@@ -100,7 +110,26 @@ Scheduler::~Scheduler() {
   for (auto& thread : threads_) thread.join();
 }
 
+telemetry::WorkerStats& Scheduler::caller_stats() {
+  const int index = tls_worker_index;
+  return index >= 0 ? slots_[static_cast<std::size_t>(index)]->stats
+                    : external_stats_;
+}
+
+telemetry::SchedulerCounters Scheduler::counters() const {
+  telemetry::SchedulerCounters total;
+  for (const auto& slot : slots_) total += slot->stats;
+  total += external_stats_;
+  return total;
+}
+
+telemetry::SchedulerCounters Scheduler::counters_now() {
+  Scheduler* live = live_instance_.load(std::memory_order_acquire);
+  return live != nullptr ? live->counters() : telemetry::SchedulerCounters{};
+}
+
 void Scheduler::submit(Task* task) {
+  bump(caller_stats().spawns);
   const int index = tls_worker_index;
   if (index >= 0) {
     slots_[static_cast<std::size_t>(index)]->deque.push(task);
@@ -142,9 +171,11 @@ Task* Scheduler::try_steal(std::uint64_t& seed) {
     const int victim = static_cast<int>(next_seed(seed) % static_cast<std::uint64_t>(n));
     if (victim == tls_worker_index) continue;
     if (Task* task = slots_[static_cast<std::size_t>(victim)]->deque.steal()) {
+      bump(caller_stats().steals);
       return task;
     }
   }
+  bump(caller_stats().failed_steals);
   return nullptr;
 }
 
@@ -175,10 +206,12 @@ void Scheduler::worker_main(int index) {
     if (task == nullptr) task = pop_injected();
     if (task != nullptr) {
       idle_spins = 0;
+      bump(slot.stats.tasks_run);
       task->run_and_release();
       continue;
     }
     if (++idle_spins < 1024) {
+      bump(slot.stats.idle_spins);
       cpu_relax();
       continue;
     }
@@ -188,6 +221,7 @@ void Scheduler::worker_main(int index) {
         injected_count_.load(std::memory_order_acquire) > 0) {
       continue;
     }
+    bump(slot.stats.parks);
     std::unique_lock<std::mutex> lock(park_mutex_);
     sleepers_.fetch_add(1, std::memory_order_acq_rel);
     park_cv_.wait_for(lock, std::chrono::milliseconds(10), [&] {
@@ -202,6 +236,7 @@ void Scheduler::worker_main(int index) {
     Task* task = slot.deque.pop();
     if (task == nullptr) task = pop_injected();
     if (task == nullptr) break;
+    bump(slot.stats.tasks_run);
     task->run_and_release();
   }
   tls_worker_index = -1;
@@ -213,6 +248,7 @@ void TaskGroup::wait_quiet() {
   while (pending_.load(std::memory_order_acquire) > 0) {
     if (Task* task = scheduler.try_acquire()) {
       idle_spins = 0;
+      bump(scheduler.caller_stats().tasks_run);
       task->run_and_release();
     } else if (++idle_spins < 2048) {
       cpu_relax();

@@ -25,6 +25,7 @@
 
 #include "runtime/task_deque.hpp"
 #include "support/assertion.hpp"
+#include "telemetry/stats.hpp"
 
 namespace pochoir::rt {
 
@@ -104,6 +105,15 @@ class Scheduler {
   /// Wake workers that may be parked; called after submitting work.
   void notify();
 
+  /// Aggregated scheduler telemetry across all workers plus external
+  /// (non-pool) threads.  Counters only advance while telemetry::enabled().
+  [[nodiscard]] telemetry::SchedulerCounters counters() const;
+
+  /// counters() of the live scheduler instance, or zeros if no scheduler
+  /// has been created yet — telemetry snapshots must not force the thread
+  /// pool into existence.
+  [[nodiscard]] static telemetry::SchedulerCounters counters_now();
+
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -115,12 +125,16 @@ class Scheduler {
   struct WorkerSlot {
     TaskDeque deque;
     std::uint64_t steal_seed = 0;
+    telemetry::WorkerStats stats;
   };
 
   explicit Scheduler(int num_workers);
   void worker_main(int index);
   Task* try_steal(std::uint64_t& seed);
   Task* pop_injected();
+  /// Stats slot for the calling thread: its worker slot, or the shared
+  /// external-thread slot for threads outside the pool.
+  telemetry::WorkerStats& caller_stats();
 
   int num_workers_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
@@ -136,7 +150,12 @@ class Scheduler {
   std::atomic<std::uint64_t> work_epoch_{0};
   std::atomic<bool> shutting_down_{false};
 
+  /// Counters for threads that are not pool workers (the program main
+  /// thread and anything else calling in from outside).
+  telemetry::WorkerStats external_stats_;
+
   static std::atomic<int> requested_threads_;
+  static std::atomic<Scheduler*> live_instance_;
 };
 
 /// Fork–join region: spawn() forks tasks, wait() joins them while helping

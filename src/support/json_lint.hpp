@@ -1,0 +1,217 @@
+// Minimal JSON syntax validator: a recursive-descent scanner that accepts
+// exactly RFC 8259 documents and reports the first offending byte offset.
+// No parse tree, no allocation proportional to input structure — it exists
+// so CI and the tests can assert that every telemetry/trace/bench JSON the
+// runtime emits is well-formed without pulling in a JSON library.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace pochoir::json {
+
+struct JsonLintResult {
+  bool ok = false;
+  std::size_t pos = 0;  ///< byte offset of the first error (0 if ok)
+  std::string error;    ///< empty if ok
+};
+
+namespace detail {
+
+inline constexpr int kMaxDepth = 256;
+
+class Linter {
+ public:
+  explicit Linter(std::string_view text) : text_(text) {}
+
+  JsonLintResult run() {
+    skip_ws();
+    if (!value(0)) return fail_result();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      set_error("trailing content after top-level value");
+      return fail_result();
+    }
+    JsonLintResult r;
+    r.ok = true;
+    return r;
+  }
+
+ private:
+  bool value(int depth) {
+    if (depth > kMaxDepth) return set_error("nesting too deep");
+    if (pos_ >= text_.size()) return set_error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object(int depth) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return set_error("expected string key");
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return set_error("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return set_error("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(int depth) {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return set_error("expected ',' or ']' in array");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return set_error("unterminated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !is_hex(text_[pos_])) {
+              return set_error("invalid \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return set_error("invalid escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      if (c < 0x20) return set_error("raw control character in string");
+      ++pos_;
+    }
+    return set_error("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!is_digit(peek())) return set_error("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (is_digit(peek())) ++pos_;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!is_digit(peek())) return set_error("digit required after '.'");
+      while (is_digit(peek())) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!is_digit(peek())) return set_error("digit required in exponent");
+      while (is_digit(peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return set_error("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+  static bool is_hex(char c) {
+    return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  bool set_error(const char* what) {
+    if (error_.empty()) {
+      error_ = what;
+      error_pos_ = pos_;
+    }
+    return false;
+  }
+
+  JsonLintResult fail_result() const {
+    JsonLintResult r;
+    r.ok = false;
+    r.pos = error_pos_;
+    r.error = error_.empty() ? "invalid JSON" : error_;
+    return r;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t error_pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace detail
+
+/// Validates that `text` is one well-formed JSON document.
+[[nodiscard]] inline JsonLintResult lint(std::string_view text) {
+  return detail::Linter(text).run();
+}
+
+}  // namespace pochoir::json

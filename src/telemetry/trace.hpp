@@ -1,0 +1,183 @@
+// Scoped span tracing: a lock-free per-thread ring buffer of timed events
+// that exports to chrome://tracing / Perfetto JSON (see export.hpp).
+//
+// Design constraints, in order:
+//   1. Recording a span while tracing is off must cost one relaxed load.
+//   2. Recording while tracing is on must not allocate, lock, or touch
+//      shared cache lines — each thread owns a fixed-capacity ring and is
+//      its only writer; the exporter is the only concurrent reader and
+//      synchronizes through one release/acquire counter per ring.
+//   3. Span names are compile-time string literals (`const char*` stored by
+//      pointer), so an Event is 32 bytes and recording is a handful of
+//      stores.
+//
+// When a ring wraps, the oldest events are overwritten and a dropped
+// counter records how many; the exporter reports the loss rather than
+// blocking the traced thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace pochoir::trace {
+
+/// One completed span.  `name` must be a string literal (stored by
+/// pointer, never copied or freed).
+struct Event {
+  const char* name = nullptr;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::int64_t arg = -1;  ///< span-specific detail (depth, slab index, ...); -1 = none
+};
+
+/// Snapshot of one thread's ring, taken by the exporter.
+struct ThreadLog {
+  int tid = 0;
+  std::uint64_t dropped = 0;
+  std::vector<Event> events;
+};
+
+/// Process-wide trace collector.  Threads record into private rings; the
+/// exporter drains copies under a registry mutex without stopping writers.
+class Tracer {
+ public:
+  static constexpr std::uint32_t kCapacity = 1u << 16;  ///< events per thread
+
+  static Tracer& instance() {
+    static Tracer tracer;
+    return tracer;
+  }
+
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  void set_active(bool on) { active_.store(on, std::memory_order_relaxed); }
+
+  /// Record one completed span into the calling thread's ring.
+  void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+              std::int64_t arg) {
+    Buffer& buf = local_buffer();
+    const std::uint32_t count = buf.count.load(std::memory_order_relaxed);
+    Event& slot = buf.events[count % kCapacity];
+    slot.name = name;
+    slot.begin_ns = begin_ns;
+    slot.end_ns = end_ns;
+    slot.arg = arg;
+    if (count >= kCapacity) buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    // Release-publish so a drain that observes the new count also observes
+    // the slot contents.
+    buf.count.store(count + 1, std::memory_order_release);
+  }
+
+  /// Copy out everything recorded so far.  Safe to call while other
+  /// threads keep tracing; events racing with the drain land in the next
+  /// one.
+  [[nodiscard]] std::vector<ThreadLog> drain_copy() {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    std::vector<ThreadLog> logs;
+    logs.reserve(buffers_.size());
+    for (const auto& buf : buffers_) {
+      ThreadLog log;
+      log.tid = buf->tid;
+      log.dropped = buf->dropped.load(std::memory_order_relaxed);
+      const std::uint32_t count = buf->count.load(std::memory_order_acquire);
+      const std::uint32_t kept = count < kCapacity ? count : kCapacity;
+      log.events.reserve(kept);
+      // Oldest-first: for a wrapped ring the oldest surviving event sits at
+      // count % kCapacity.
+      const std::uint32_t start = count < kCapacity ? 0 : count % kCapacity;
+      for (std::uint32_t i = 0; i < kept; ++i) {
+        log.events.push_back(buf->events[(start + i) % kCapacity]);
+      }
+      logs.push_back(std::move(log));
+    }
+    return logs;
+  }
+
+  /// Forget all recorded events (counts reset; rings stay allocated).
+  void reset() {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& buf : buffers_) {
+      buf->count.store(0, std::memory_order_relaxed);
+      buf->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Buffer {
+    int tid = 0;
+    std::atomic<std::uint32_t> count{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::vector<Event> events;
+  };
+
+  Tracer() = default;
+
+  Buffer& local_buffer() {
+    thread_local Buffer* cached = nullptr;
+    if (cached == nullptr) cached = &register_thread();
+    return *cached;
+  }
+
+  Buffer& register_thread() {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto buf = std::make_unique<Buffer>();
+    buf->tid = static_cast<int>(buffers_.size());
+    buf->events.resize(kCapacity);
+    buffers_.push_back(std::move(buf));
+    return *buffers_.back();
+  }
+
+  std::atomic<bool> active_{false};
+  std::mutex registry_mutex_;
+  // unique_ptr elements so Buffer addresses stay stable across push_back;
+  // rings are never removed (thread ids stay meaningful for the whole
+  // process) — a handful of 2 MiB rings, only touched if tracing is used.
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// RAII scoped span.  Construct with `nullptr` to make it a no-op (used to
+/// gate spans on a depth threshold without branching at the use site).
+/// Costs one relaxed load when tracing is inactive.
+class Span {
+ public:
+  explicit Span(const char* name, std::int64_t arg = -1)
+      : name_(name != nullptr && Tracer::instance().active() ? name : nullptr),
+        arg_(arg),
+        begin_ns_(name_ != nullptr ? now_ns() : 0) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (name_ != nullptr) {
+      Tracer::instance().record(name_, begin_ns_, now_ns(), arg_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::int64_t arg_;
+  std::uint64_t begin_ns_;
+};
+
+/// Zoid-recursion spans are only recorded down to this depth (else the
+/// trace drowns in microsecond leaves).  POCHOIR_TRACE_ZOID_DEPTH
+/// overrides; default 2 keeps the top few fan-outs visible.
+[[nodiscard]] inline int zoid_depth_limit() {
+  static const int limit = [] {
+    if (const char* v = std::getenv("POCHOIR_TRACE_ZOID_DEPTH")) {
+      return std::atoi(v);
+    }
+    return 2;
+  }();
+  return limit;
+}
+
+}  // namespace pochoir::trace

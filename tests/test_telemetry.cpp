@@ -1,0 +1,396 @@
+// Telemetry-layer tests: counter consistency (points updated == grid x
+// steps; TRAP vs loops agree; scheduler spawns == tasks run), trace-JSON
+// well-formedness and span nesting, registry/export round trips through
+// the JSON linter, the off-by-default allocation-free guarantee, and the
+// RunReport timing fields of supervised runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "runtime/scheduler.hpp"
+#include "stencils/common.hpp"
+#include "stencils/heat.hpp"
+#include "stencils/wave.hpp"
+#include "support/json_lint.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/stats.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+// These tests control telemetry state explicitly; stray environment from
+// the invoking shell must not leak in.  Runs during static init, before
+// the lazily-initialized enabled() flag is first read.
+const bool g_env_cleared = [] {
+  unsetenv("POCHOIR_TELEMETRY");
+  unsetenv("POCHOIR_TRACE");
+  unsetenv("POCHOIR_TELEMETRY_JSON");
+  unsetenv("POCHOIR_TRACE_ZOID_DEPTH");
+  return true;
+}();
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::int64_t> g_allocs{0};
+
+}  // namespace
+
+// Counting global allocator hooks (same pattern as test_walk_equivalence):
+// active only while g_counting is set, so gtest/harness allocations outside
+// the measured region are ignored.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pochoir {
+namespace {
+
+namespace tel = telemetry;
+
+/// RAII guard: forces the counter flag for one scope, restoring the
+/// previous state afterwards (tests must not leak state into each other).
+class EnabledScope {
+ public:
+  explicit EnabledScope(bool on) : prev_(tel::enabled()) {
+    tel::set_enabled(on);
+  }
+  ~EnabledScope() { tel::set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+std::uint64_t hist_sum(const std::array<std::uint64_t, tel::kHistogramBuckets>& h) {
+  return std::accumulate(h.begin(), h.end(), std::uint64_t{0});
+}
+
+/// Runs the 2D heat kernel for `steps` on an n x n grid with the given
+/// algorithm and returns the walk-counter delta.
+tel::WalkCounters run_heat2(std::int64_t n, std::int64_t steps, Algorithm alg,
+                            bool periodic) {
+  Array<double, 2> a({n, n}, stencils::heat_shape<2>().depth());
+  if (periodic) {
+    a.register_boundary(periodic_boundary<double, 2>());
+  } else {
+    a.register_boundary(dirichlet_boundary<double, 2>(0.0));
+  }
+  stencils::fill_random(a, 0, 0.0, 1.0);
+  Stencil<2, double> heat(stencils::heat_shape<2>());
+  heat.register_arrays(a);
+  auto kern = stencils::heat_kernel_2d({0.125, 0.125});
+  const tel::WalkCounters before = tel::walk_stats().snapshot();
+  heat.run_serial(alg, steps, kern);
+  return tel::walk_stats().snapshot() - before;
+}
+
+TEST(TelemetryCounters, DisabledByDefault) {
+  ASSERT_TRUE(g_env_cleared);
+  EXPECT_FALSE(tel::enabled());
+  // With the flag off, context() must not attach the stats sink, so a run
+  // leaves the global counters untouched.
+  const tel::WalkCounters delta =
+      run_heat2(16, 4, Algorithm::kTrap, /*periodic=*/false);
+  EXPECT_EQ(delta.points_total(), 0u);
+  EXPECT_EQ(delta.base_cases(), 0u);
+}
+
+TEST(TelemetryCounters, TrapPointsMatchGridTimesSteps) {
+  EnabledScope on(true);
+  const std::int64_t n = 24, steps = 10;
+  const tel::WalkCounters d =
+      run_heat2(n, steps, Algorithm::kTrap, /*periodic=*/false);
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(n * n * steps);
+  EXPECT_EQ(d.points_interior + d.points_boundary, expected);
+  EXPECT_EQ(d.points_loops, 0u);
+  EXPECT_GT(d.base_cases(), 0u);
+  EXPECT_GT(d.base_boundary, 0u);  // grid edges always need the checked clone
+  // Each base case lands in exactly one bucket of each histogram.
+  EXPECT_EQ(hist_sum(d.zoid_points_hist), d.base_cases());
+  EXPECT_EQ(hist_sum(d.zoid_height_hist), d.base_cases());
+  // A 24^2 x 10 box cannot be a single base case with default coarsening.
+  EXPECT_GT(d.space_cuts + d.time_cuts, 0u);
+}
+
+TEST(TelemetryCounters, TrapAndLoopsAgreeOnPoints) {
+  EnabledScope on(true);
+  const std::int64_t n = 20, steps = 8;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(n * n * steps);
+  const tel::WalkCounters trap =
+      run_heat2(n, steps, Algorithm::kTrap, /*periodic=*/true);
+  const tel::WalkCounters loops =
+      run_heat2(n, steps, Algorithm::kLoopsSerial, /*periodic=*/true);
+  EXPECT_EQ(trap.points_total(), expected);
+  EXPECT_EQ(loops.points_total(), expected);
+  EXPECT_EQ(loops.points_loops, expected);
+  EXPECT_EQ(loops.loops_steps, static_cast<std::uint64_t>(steps));
+  EXPECT_EQ(loops.base_cases(), 0u);
+}
+
+TEST(TelemetryCounters, Wave3DPointsConsistent) {
+  EnabledScope on(true);
+  const std::int64_t n = 10, steps = 4;
+  Array<double, 3> a({n, n, n}, stencils::wave_shape().depth());
+  a.register_boundary(periodic_boundary<double, 3>());
+  a.fill_time(0, [](const auto&) { return 2.5; });
+  a.fill_time(1, [](const auto&) { return 2.5; });
+  Stencil<3, double> wave(stencils::wave_shape());
+  wave.register_arrays(a);
+  auto kern = stencils::wave_kernel(0.1);
+  const tel::WalkCounters before = tel::walk_stats().snapshot();
+  wave.run_serial(Algorithm::kTrap, steps, kern);
+  const tel::WalkCounters d = tel::walk_stats().snapshot() - before;
+  EXPECT_EQ(d.points_total(), static_cast<std::uint64_t>(n * n * n * steps));
+  EXPECT_EQ(hist_sum(d.zoid_points_hist), d.base_cases());
+}
+
+TEST(TelemetryCounters, SchedulerSpawnsEqualTasksRun) {
+  EnabledScope on(true);
+  rt::Scheduler& sched = rt::Scheduler::instance();
+  const tel::SchedulerCounters before = rt::Scheduler::counters_now();
+  constexpr int kTasks = 64;
+  std::atomic<int> ran{0};
+  rt::TaskGroup group;
+  for (int i = 0; i < kTasks; ++i) {
+    group.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  (void)sched;
+  const tel::SchedulerCounters d = rt::Scheduler::counters_now() - before;
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(d.spawns, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(d.tasks_run, d.spawns);  // every spawned task ran exactly once
+  EXPECT_LE(d.steals, d.tasks_run);
+}
+
+TEST(TelemetryTrace, SpansNestAndExportIsValidJson) {
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.reset();
+  tracer.set_active(true);
+  {
+    trace::Span outer("outer", 1);
+    {
+      trace::Span middle("middle", 2);
+      trace::Span inner("inner", 3);
+    }
+    trace::Span sibling("sibling", 4);
+  }
+  tracer.set_active(false);
+
+  const auto logs = tracer.drain_copy();
+  std::size_t total = 0;
+  for (const auto& log : logs) {
+    total += log.events.size();
+    // Events sorted by begin; RAII spans must nest properly per thread:
+    // a span beginning inside another must also end inside it.
+    std::vector<trace::Event> evs = log.events;
+    std::sort(evs.begin(), evs.end(),
+              [](const trace::Event& a, const trace::Event& b) {
+                return a.begin_ns < b.begin_ns;
+              });
+    std::vector<std::uint64_t> stack;
+    for (const auto& ev : evs) {
+      EXPECT_LE(ev.begin_ns, ev.end_ns);
+      while (!stack.empty() && stack.back() <= ev.begin_ns) stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(ev.end_ns, stack.back());
+      }
+      stack.push_back(ev.end_ns);
+    }
+  }
+  EXPECT_EQ(total, 4u);
+
+  const std::string path = "telemetry_test_trace.json";
+  ASSERT_TRUE(trace::write_chrome_trace(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const auto lint = json::lint(text);
+  EXPECT_TRUE(lint.ok) << lint.error << " at byte " << lint.pos;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  std::filesystem::remove(path);
+  tracer.reset();
+}
+
+TEST(TelemetryTrace, TracedWalkEmitsZoidSpans) {
+  EnabledScope on(true);
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.reset();
+  tracer.set_active(true);
+  run_heat2(24, 8, Algorithm::kTrap, /*periodic=*/false);
+  tracer.set_active(false);
+  const auto logs = tracer.drain_copy();
+  std::size_t zoids = 0, runs = 0;
+  int max_depth = -1;
+  for (const auto& log : logs) {
+    for (const auto& ev : log.events) {
+      const std::string name = ev.name;
+      if (name == "zoid") {
+        ++zoids;
+        max_depth = ev.arg > max_depth ? static_cast<int>(ev.arg) : max_depth;
+      }
+      if (name == "stencil_run") ++runs;
+    }
+  }
+  EXPECT_EQ(runs, 1u);
+  EXPECT_GT(zoids, 0u);
+  // The depth threshold bounds what gets recorded.
+  EXPECT_LE(max_depth, trace::zoid_depth_limit());
+  tracer.reset();
+}
+
+TEST(TelemetryExport, SessionAndRegistrySnapshotAreValidJson) {
+  {
+    trace::Session session("test/heat2", /*force_enable=*/true);
+    run_heat2(16, 4, Algorithm::kTrap, /*periodic=*/false);
+    const tel::RunTelemetry t = session.finish();
+    EXPECT_EQ(t.label, "test/heat2");
+    EXPECT_GT(t.seconds, 0.0);
+    EXPECT_EQ(t.points(), static_cast<std::uint64_t>(16 * 16 * 4));
+    EXPECT_GT(t.points_per_s(), 0.0);
+    const auto lint = json::lint(tel::to_json(t));
+    EXPECT_TRUE(lint.ok) << lint.error;
+  }
+  // Session restored the flag (it was off at construction).
+  EXPECT_FALSE(tel::enabled());
+
+  const std::string path = "telemetry_test_snapshot.json";
+  ASSERT_TRUE(tel::Registry::instance().export_json(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto lint = json::lint(buf.str());
+  EXPECT_TRUE(lint.ok) << lint.error << " at byte " << lint.pos;
+  EXPECT_NE(buf.str().find("pochoir-telemetry-v1"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(TelemetryOverhead, DisabledAndCounterOnlyPathsAreAllocationFree) {
+  const std::int64_t n = 32, steps = 8;
+  Array<double, 2> a({n, n}, stencils::heat_shape<2>().depth());
+  a.register_boundary(dirichlet_boundary<double, 2>(0.0));
+  stencils::fill_random(a, 0, 0.0, 1.0);
+  Stencil<2, double> heat(stencils::heat_shape<2>());
+  heat.register_arrays(a);
+  auto kern = stencils::heat_kernel_2d({0.125, 0.125});
+  // Warm up lazily-created singletons (walk stats, tracer) outside the
+  // measured region.
+  (void)tel::walk_stats().snapshot();
+  (void)trace::Tracer::instance().active();
+
+  // Telemetry off (the default): the serial walk stays allocation-free.
+  {
+    ASSERT_FALSE(tel::enabled());
+    g_allocs.store(0);
+    g_counting.store(true);
+    heat.run_serial(Algorithm::kTrap, steps, kern);
+    g_counting.store(false);
+    EXPECT_EQ(g_allocs.load(), 0);
+  }
+  // Counters on, tracing off: relaxed atomics only — still no allocation.
+  {
+    EnabledScope on(true);
+    g_allocs.store(0);
+    g_counting.store(true);
+    heat.run_serial(Algorithm::kTrap, steps, kern);
+    g_counting.store(false);
+    EXPECT_EQ(g_allocs.load(), 0);
+  }
+}
+
+TEST(TelemetrySupervised, RunReportCarriesSlabAndCheckpointTelemetry) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path("telemetry_test_ckpt");
+  fs::create_directories(dir);
+  const std::int64_t n = 16, steps = 8;
+  Array<double, 2> a({n, n}, stencils::heat_shape<2>().depth());
+  a.register_boundary(dirichlet_boundary<double, 2>(0.0));
+  stencils::fill_random(a, 0, 0.0, 1.0);
+  Stencil<2, double> heat(stencils::heat_shape<2>());
+  heat.register_arrays(a);
+  auto kern = stencils::heat_kernel_2d({0.125, 0.125});
+
+  resilience::SupervisorOptions opts;
+  opts.slab_steps = 2;
+  opts.checkpoint_path = (dir / "ck").string();
+  const resilience::RunReport rep = heat.run_supervised(steps, kern, opts);
+  ASSERT_TRUE(rep.ok()) << rep.message;
+  EXPECT_EQ(rep.steps_completed, steps);
+  EXPECT_EQ(rep.slabs_completed, 4);
+  EXPECT_EQ(rep.checkpoints_written, 4);
+  EXPECT_GT(rep.slab_seconds, 0.0);
+  EXPECT_GE(rep.checkpoint_seconds, 0.0);
+  // Each checkpoint snapshots the full array (all time levels).
+  const std::int64_t bytes_per_ckpt =
+      static_cast<std::int64_t>(a.total_size()) *
+      static_cast<std::int64_t>(sizeof(double));
+  EXPECT_EQ(rep.checkpoint_bytes, rep.checkpoints_written * bytes_per_ckpt);
+  fs::remove_all(dir);
+}
+
+TEST(JsonLint, AcceptsValidDocuments) {
+  const char* good[] = {
+      "{}",
+      "[]",
+      "null",
+      "true",
+      "-12.5e3",
+      "\"str with \\\"escape\\\" and \\u00e9\"",
+      "{\"a\": [1, 2, {\"b\": null}], \"c\": -0.5}",
+      "  [1, 2, 3]\n",
+  };
+  for (const char* doc : good) {
+    const auto r = json::lint(doc);
+    EXPECT_TRUE(r.ok) << doc << " -> " << r.error;
+  }
+}
+
+TEST(JsonLint, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",
+      "{",
+      "[1, 2,]",
+      "{\"a\" 1}",
+      "{\"a\": 1,}",
+      "nul",
+      "01",
+      "1.",
+      "\"unterminated",
+      "\"bad \\x escape\"",
+      "[1] trailing",
+      "{'single': 1}",
+  };
+  for (const char* doc : bad) {
+    const auto r = json::lint(doc);
+    EXPECT_FALSE(r.ok) << doc << " unexpectedly accepted";
+  }
+}
+
+}  // namespace
+}  // namespace pochoir

@@ -1,0 +1,44 @@
+// pochoir_json_check — validates that emitted telemetry/trace/bench JSON
+// files are well-formed.  Used by CI after the traced smoke run and usable
+// locally:
+//
+//   pochoir_json_check trace.json telemetry.json BENCH_fig3_table.json
+//
+// Exits 0 when every file lints clean, 1 otherwise (or when a file cannot
+// be read).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "support/json_lint.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: pochoir_json_check FILE...\n";
+    return 1;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const auto result = pochoir::json::lint(text);
+    if (result.ok) {
+      std::cout << path << ": ok (" << text.size() << " bytes)\n";
+    } else {
+      std::cerr << path << ": INVALID at byte " << result.pos << ": "
+                << result.error << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
